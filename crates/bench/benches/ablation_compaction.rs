@@ -1,0 +1,79 @@
+//! Ablation **A3** — tombstone purging (text-level VACUUM).
+//!
+//! Tombstones keep undo/lineage alive but make every document open and
+//! every position-index rebuild proportional to *all characters ever
+//! typed*, not the visible text. This ablation quantifies the cost of
+//! tombstone load on document open and what `purge_tombstones` buys
+//! back, plus the purge operation's own throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tendax_core::{DocId, Tendax, UserId};
+
+/// A document with `live` visible chars and `dead` tombstones.
+fn churned_doc(live: usize, dead: usize) -> (Tendax, DocId, UserId) {
+    let tx = Tendax::in_memory().expect("instance");
+    let u = tx.create_user("u").expect("user");
+    let doc = tx.create_document("d", u).expect("doc");
+    let mut h = tx.textdb().open(doc, u).expect("open");
+    h.insert_text(0, &"x".repeat(live)).expect("live text");
+    // Churn: insert then delete in chunks to accumulate tombstones.
+    let chunk = 100;
+    let mut remaining = dead;
+    while remaining > 0 {
+        let n = remaining.min(chunk);
+        h.insert_text(live / 2, &"y".repeat(n)).expect("churn insert");
+        h.delete_range(live / 2, n).expect("churn delete");
+        remaining -= n;
+    }
+    (tx, doc, u)
+}
+
+fn bench_open_with_tombstones(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_open_vs_tombstone_load");
+    group.sample_size(10);
+    const LIVE: usize = 2_000;
+    for &dead in &[0usize, 2_000, 20_000] {
+        let (tx, doc, u) = churned_doc(LIVE, dead);
+        group.bench_with_input(
+            BenchmarkId::new("unpurged", dead),
+            &dead,
+            |b, _| {
+                b.iter(|| tx.textdb().open(doc, u).expect("open"));
+            },
+        );
+        if dead > 0 {
+            tx.textdb()
+                .purge_tombstones(doc, tx.textdb().now())
+                .expect("purge");
+            group.bench_with_input(BenchmarkId::new("purged", dead), &dead, |b, _| {
+                b.iter(|| tx.textdb().open(doc, u).expect("open"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_purge_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_purge_throughput");
+    group.sample_size(10);
+    for &dead in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(dead), &dead, |b, &dead| {
+            b.iter_batched(
+                || churned_doc(500, dead),
+                |(tx, doc, _)| {
+                    let stats = tx
+                        .textdb()
+                        .purge_tombstones(doc, tx.textdb().now())
+                        .expect("purge");
+                    assert_eq!(stats.purged_chars, dead);
+                    stats
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_open_with_tombstones, bench_purge_throughput);
+criterion_main!(benches);

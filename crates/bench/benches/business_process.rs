@@ -1,0 +1,117 @@
+//! Experiment **D2** — business process definitions and flow ("tasks …
+//! can be created, changed and routed dynamically, i.e. at run-time").
+//!
+//! Measures task definition, completion, re-routing, and inbox query
+//! latency as the number of tasks in a document grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tendax_core::{Assignee, Tendax, TaskSpec};
+use tendax_process::ProcessEngine;
+
+fn engine_with_tasks(n_tasks: usize) -> (Tendax, ProcessEngine, tendax_core::UserId) {
+    let tx = Tendax::in_memory().expect("instance");
+    let alice = tx.create_user("alice").expect("alice");
+    let bob = tx.create_user("bob").expect("bob");
+    let doc = tx.create_document("d", alice).expect("doc");
+    let engine = tx.process().clone();
+    for i in 0..n_tasks {
+        engine
+            .define_task(doc, alice, TaskSpec::new(format!("task{i}"), Assignee::User(bob)))
+            .expect("task");
+    }
+    (tx, engine, bob)
+}
+
+fn bench_define_task(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d2_define_task");
+    group.sample_size(20);
+    let tx = Tendax::in_memory().expect("instance");
+    let alice = tx.create_user("alice").expect("alice");
+    let bob = tx.create_user("bob").expect("bob");
+    let doc = tx.create_document("d", alice).expect("doc");
+    let engine = tx.process().clone();
+    let mut i = 0;
+    group.bench_function("define", |b| {
+        b.iter(|| {
+            i += 1;
+            engine
+                .define_task(doc, alice, TaskSpec::new(format!("t{i}"), Assignee::User(bob)))
+                .expect("defined")
+        });
+    });
+    group.finish();
+}
+
+fn bench_inbox_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d2_inbox_vs_task_count");
+    group.sample_size(15);
+    for &n in &[10usize, 100, 500] {
+        let (_tx, engine, bob) = engine_with_tasks(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let inbox = engine.inbox(bob).expect("inbox");
+                assert_eq!(inbox.len(), n);
+                inbox
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_complete_and_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d2_workflow_transitions");
+    group.sample_size(15);
+    group.bench_function("complete_task", |b| {
+        let tx = Tendax::in_memory().expect("instance");
+        let alice = tx.create_user("alice").expect("alice");
+        let bob = tx.create_user("bob").expect("bob");
+        let doc = tx.create_document("d", alice).expect("doc");
+        let engine = tx.process().clone();
+        b.iter_batched(
+            || {
+                engine
+                    .define_task(doc, alice, TaskSpec::new("t", Assignee::User(bob)))
+                    .expect("task")
+            },
+            |task| engine.complete(task, bob, "done").expect("completed"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("reroute_chain_of_10", |b| {
+        let tx = Tendax::in_memory().expect("instance");
+        let alice = tx.create_user("alice").expect("alice");
+        let bob = tx.create_user("bob").expect("bob");
+        let doc = tx.create_document("d", alice).expect("doc");
+        let engine = tx.process().clone();
+        // A chain t0 <- t1 <- … <- t9; re-route the tail repeatedly.
+        let mut prev = None;
+        let mut tasks = Vec::new();
+        for i in 0..10 {
+            let mut spec = TaskSpec::new(format!("t{i}"), Assignee::User(bob));
+            if let Some(p) = prev {
+                spec = spec.after(p);
+            }
+            let t = engine.define_task(doc, alice, spec).expect("task");
+            tasks.push(t);
+            prev = Some(t);
+        }
+        let tail = *tasks.last().expect("tail");
+        let mid = tasks[4];
+        b.iter(|| {
+            // Cycle detection walks the chain: this measures routing cost.
+            engine.set_predecessor(tail, alice, Some(mid)).expect("reroute");
+            engine
+                .set_predecessor(tail, alice, Some(tasks[8]))
+                .expect("reroute back");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_define_task,
+    bench_inbox_query,
+    bench_complete_and_route
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Experiment **D1** — collaborative editing ("we will concurrently work
+//! with multiple users on the same document").
+//!
+//! Measures multi-user editing throughput on a single shared document as
+//! the number of concurrent editors grows, plus the cost of synchronizing
+//! a remote editor via the effect bus versus a full document reload. The
+//! shape to reproduce: disjoint-position edits scale with editors (rare
+//! conflicts), and effect-based sync is far cheaper than reopening.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tendax_bench::shared_document;
+
+fn bench_concurrent_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d1_concurrent_editors_throughput");
+    group.sample_size(10);
+    const OPS_PER_EDITOR: usize = 25;
+    for &n_editors in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((n_editors * OPS_PER_EDITOR) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_editors),
+            &n_editors,
+            |b, &n| {
+                b.iter(|| {
+                    let (tendax, sessions, _doc) = shared_document(n);
+                    let mut handles = Vec::new();
+                    for (i, session) in sessions.into_iter().enumerate() {
+                        handles.push(std::thread::spawn(move || {
+                            let mut doc = session.open("shared").expect("open");
+                            for k in 0..OPS_PER_EDITOR {
+                                doc.sync();
+                                let pos = (i * 37 + k * 11) % (doc.len() + 1);
+                                doc.type_text(pos, "w").expect("typed");
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.join().expect("editor thread");
+                    }
+                    tendax.stats().commits
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sync_vs_reload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d1_remote_sync_cost");
+    group.sample_size(10);
+    // One editor types; measure how a second editor catches up.
+    let (tendax, sessions, doc_id) = shared_document(2);
+    let mut writer = sessions[0].open("shared").expect("open writer");
+    writer.type_text(0, &"seed text ".repeat(200)).expect("seed");
+
+    group.bench_function("effect_bus_sync_100_events", |b| {
+        b.iter(|| {
+            let mut reader = sessions[1].open("shared").expect("open reader");
+            for i in 0..100 {
+                writer.type_text(i % writer.len(), "x").expect("w");
+            }
+            let applied = reader.sync();
+            assert!(applied >= 100);
+        });
+    });
+
+    group.bench_function("full_reload_after_100_events", |b| {
+        let u = tendax.textdb().user_by_name("user1").expect("u");
+        b.iter(|| {
+            for i in 0..100 {
+                writer.type_text(i % writer.len(), "x").expect("w");
+            }
+            tendax.textdb().open(doc_id, u).expect("reopen")
+        });
+    });
+    group.finish();
+}
+
+fn bench_same_position_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d1_same_position_contention");
+    group.sample_size(10);
+    // Everyone hammers position 0: worst-case conflict rate, exercising
+    // the retry path.
+    for &n_editors in &[2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_editors),
+            &n_editors,
+            |b, &n| {
+                b.iter(|| {
+                    let (tendax, sessions, _doc) = shared_document(n);
+                    let mut handles = Vec::new();
+                    for session in sessions {
+                        handles.push(std::thread::spawn(move || {
+                            let mut doc = session.open("shared").expect("open");
+                            for _ in 0..10 {
+                                doc.type_text(0, "c").expect("typed under contention");
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.join().expect("editor thread");
+                    }
+                    tendax.stats().conflicts
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_concurrent_throughput,
+    bench_sync_vs_reload,
+    bench_same_position_contention
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Experiment **P1** — "very fast transactions for all editing tasks"
+//! (§2 of the paper, citing Hodel & Dittrich's DKE 2004 measurements).
+//!
+//! Measures the latency of single editing transactions against document
+//! size: typing one character, deleting one character, and pasting spans
+//! of increasing length. The paper's claim is that editing latency stays
+//! interactive (sub-millisecond to low-millisecond) regardless of
+//! document size; the *shape* to reproduce is a flat-ish curve in
+//! document size (position lookup is logarithmic, row writes are O(1)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tendax_core::{Platform, Tendax};
+
+fn editor_with_doc(len: usize) -> (Tendax, tendax_core::EditorSession, tendax_core::EditorDoc) {
+    let tx = Tendax::in_memory().expect("instance");
+    tx.create_user("u").expect("user");
+    let u = tx.textdb().user_by_name("u").expect("u");
+    tx.create_document("d", u).expect("doc");
+    let s = tx.connect("u", Platform::Linux).expect("session");
+    let mut d = s.open("d").expect("open");
+    // Build in chunks to keep setup fast.
+    let chunk = "abcdefghij".repeat(100); // 1000 chars
+    let mut remaining = len;
+    while remaining > 0 {
+        let n = remaining.min(1000);
+        d.type_text(d.len(), &chunk[..n]).expect("setup typing");
+        remaining -= n;
+    }
+    (tx, s, d)
+}
+
+fn bench_insert_char(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_insert_char_vs_doc_size");
+    group.sample_size(20);
+    for &size in &[1_000usize, 10_000, 50_000] {
+        let (_tx, _s, mut doc) = editor_with_doc(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut pos = size / 2;
+            b.iter(|| {
+                doc.type_text(pos, "x").expect("typed char");
+                pos += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_delete_char(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_delete_char_vs_doc_size");
+    group.sample_size(20);
+    for &size in &[1_000usize, 10_000, 50_000] {
+        let (_tx, _s, mut doc) = editor_with_doc(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            // Delete + refill pair so the document size stays stable
+            // across however many iterations Criterion runs.
+            b.iter(|| {
+                doc.delete(doc.len() / 2, 1).expect("deleted char");
+                doc.type_text(doc.len() / 2, "x").expect("refill");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_paste_span(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_paste_vs_span_length");
+    group.sample_size(15);
+    let (_tx, _s, mut doc) = editor_with_doc(10_000);
+    for &span in &[10usize, 100, 1000] {
+        let clip = doc.copy(0, span).expect("copy");
+        group.bench_with_input(BenchmarkId::from_parameter(span), &span, |b, _| {
+            b.iter(|| {
+                doc.paste(doc.len() / 2, &clip).expect("pasted");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_open_document(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_open_vs_doc_size");
+    group.sample_size(10);
+    for &size in &[1_000usize, 10_000] {
+        let (tx, _s, doc) = editor_with_doc(size);
+        let id = doc.doc();
+        let u = tx.textdb().user_by_name("u").expect("u");
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| tx.textdb().open(id, u).expect("open"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_char,
+    bench_delete_char,
+    bench_paste_span,
+    bench_open_document
+);
+criterion_main!(benches);

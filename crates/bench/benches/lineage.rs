@@ -1,0 +1,85 @@
+//! Experiment **D4** — data lineage (Figure 1's backing queries).
+//!
+//! Measures lineage-graph construction against paste-web size, transitive
+//! ancestor queries, and character-level provenance chain resolution
+//! against chain depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tendax_bench::{add_paste_web, build_corpus};
+use tendax_core::{char_provenance, LineageGraph, Platform, Tendax};
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d4_lineage_build_vs_pastes");
+    group.sample_size(10);
+    for &n_pastes in &[10usize, 50, 200] {
+        let corpus = build_corpus(4, 20, 30, 42);
+        add_paste_web(&corpus, n_pastes, 7, 43);
+        let tdb = corpus.tendax.textdb().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n_pastes), &n_pastes, |b, _| {
+            b.iter(|| LineageGraph::build(&tdb).expect("graph"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d4_lineage_reachability");
+    group.sample_size(15);
+    let corpus = build_corpus(4, 30, 30, 42);
+    add_paste_web(&corpus, 150, 9, 43);
+    let g = corpus.tendax.lineage().expect("graph");
+    let probe = corpus.docs[0];
+    group.bench_function("ancestors", |b| {
+        b.iter(|| g.ancestors(probe));
+    });
+    group.bench_function("descendants", |b| {
+        b.iter(|| g.descendants(probe));
+    });
+    group.finish();
+}
+
+/// Build an explicit paste chain of `depth` documents, then resolve the
+/// provenance of the final character.
+fn chain_of(depth: usize) -> (Tendax, tendax_core::DocId, tendax_core::CharId) {
+    let tx = Tendax::in_memory().expect("instance");
+    let u = tx.create_user("u").expect("user");
+    let s = tx.connect("u", Platform::Linux).expect("session");
+    let first = tx.create_document("d0", u).expect("doc");
+    let mut prev = s.open_id(first).expect("open");
+    prev.type_text(0, "genesis text").expect("seed");
+    let mut last_doc = first;
+    for i in 1..depth {
+        let doc = tx.create_document(&format!("d{i}"), u).expect("doc");
+        let clip = prev.copy(0, 7).expect("copy");
+        let mut cur = s.open_id(doc).expect("open");
+        cur.paste(0, &clip).expect("paste");
+        prev = cur;
+        last_doc = doc;
+    }
+    let id = prev.handle().char_at(0).expect("char");
+    (tx, last_doc, id)
+}
+
+fn bench_char_provenance_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d4_char_provenance_vs_depth");
+    group.sample_size(15);
+    for &depth in &[2usize, 8, 32] {
+        let (tx, doc, id) = chain_of(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let hops = char_provenance(tx.textdb(), doc, id).expect("hops");
+                assert_eq!(hops.len(), depth.min(64));
+                hops
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_reachability,
+    bench_char_provenance_depth
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment **D6** — metadata-based search and ranking.
+//!
+//! Measures index construction, content queries, metadata-filtered
+//! queries, and each ranking option against corpus size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tendax_bench::{add_paste_web, build_corpus};
+use tendax_core::{RankBy, SearchEngine, SearchFilter, SearchQuery};
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d6_index_build_vs_corpus");
+    group.sample_size(10);
+    for &n_docs in &[10usize, 50, 200] {
+        let corpus = build_corpus(5, n_docs, 40, 42);
+        let tdb = corpus.tendax.textdb().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n_docs), &n_docs, |b, _| {
+            b.iter(|| SearchEngine::build(&tdb).expect("index"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d6_query_modes");
+    group.sample_size(15);
+    let corpus = build_corpus(5, 100, 40, 42);
+    add_paste_web(&corpus, 100, 8, 43);
+    let engine = corpus.tendax.search().expect("engine");
+    let user = corpus.users[0];
+
+    group.bench_function("content_single_term", |b| {
+        b.iter(|| engine.search(&SearchQuery::terms("database")).expect("hits"));
+    });
+    group.bench_function("content_two_terms_and", |b| {
+        b.iter(|| {
+            engine
+                .search(&SearchQuery::terms("database transaction"))
+                .expect("hits")
+        });
+    });
+    group.bench_function("metadata_filter_author", |b| {
+        b.iter(|| {
+            engine
+                .search(&SearchQuery::terms("database").filter(SearchFilter::Author(user)))
+                .expect("hits")
+        });
+    });
+    for (name, rank) in [
+        ("rank_relevance", RankBy::Relevance),
+        ("rank_newest", RankBy::Newest),
+        ("rank_most_cited", RankBy::MostCited),
+        ("rank_most_read", RankBy::MostRead),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                engine
+                    .search(&SearchQuery::terms("document").rank_by(rank))
+                    .expect("hits")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build, bench_query_modes);
+criterion_main!(benches);

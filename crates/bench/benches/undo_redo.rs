@@ -1,0 +1,79 @@
+//! Experiment **P2** — local and global undo/redo.
+//!
+//! Measures undo latency against the size of the undone operation and
+//! against oplog depth (undo must locate the newest not-undone entry),
+//! for both local (per-user) and global scope.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tendax_core::{Platform, Tendax};
+
+fn doc_with_history(ops: usize, op_size: usize) -> (Tendax, tendax_core::EditorSession, tendax_core::EditorDoc) {
+    let tx = Tendax::in_memory().expect("instance");
+    tx.create_user("u").expect("user");
+    let u = tx.textdb().user_by_name("u").expect("u");
+    tx.create_document("d", u).expect("doc");
+    let s = tx.connect("u", Platform::Linux).expect("session");
+    let mut d = s.open("d").expect("open");
+    let text = "y".repeat(op_size);
+    for i in 0..ops {
+        d.type_text((i * 3) % (d.len() + 1), &text).expect("op");
+    }
+    (tx, s, d)
+}
+
+fn bench_undo_vs_op_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_undo_vs_op_size");
+    group.sample_size(15);
+    for &op_size in &[1usize, 10, 100] {
+        let (_tx, _s, mut doc) = doc_with_history(200, op_size);
+        group.bench_with_input(BenchmarkId::from_parameter(op_size), &op_size, |b, _| {
+            b.iter(|| {
+                doc.undo().expect("undo");
+                doc.redo().expect("redo");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_undo_vs_oplog_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_undo_vs_oplog_depth");
+    group.sample_size(15);
+    for &ops in &[10usize, 100, 1000] {
+        let (_tx, _s, mut doc) = doc_with_history(ops, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| {
+                doc.undo().expect("undo");
+                doc.redo().expect("redo");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_vs_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_local_vs_global_undo");
+    group.sample_size(15);
+    let (_tx, _s, mut doc) = doc_with_history(200, 5);
+    group.bench_function("local_undo_redo", |b| {
+        b.iter(|| {
+            doc.undo().expect("undo");
+            doc.redo().expect("redo");
+        });
+    });
+    group.bench_function("global_undo_redo", |b| {
+        b.iter(|| {
+            doc.global_undo().expect("undo");
+            doc.global_redo().expect("redo");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_undo_vs_op_size,
+    bench_undo_vs_oplog_depth,
+    bench_local_vs_global
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 2 — Visual Mining** of the EDBT 2006 paper.
+//!
+//! The original figure is a GUI screenshot of the information
+//! visualization plug-in showing the document space. This binary builds
+//! a corpus, computes the metadata feature matrix, projects it to 2-D
+//! (PCA) with k-means cluster colors, renders the scatter as ASCII, and
+//! writes the coordinate series to `bench_results/`.
+//!
+//! Run with: `cargo run -p tendax-bench --bin figure2_mining`
+
+use tendax_bench::{add_paste_web, build_corpus};
+use tendax_core::{top_terms, FEATURE_NAMES};
+
+fn main() {
+    let corpus = build_corpus(5, 24, 60, 7);
+    add_paste_web(&corpus, 40, 8, 9);
+    let tendax = &corpus.tendax;
+
+    let space = tendax.document_space(3).expect("document space");
+    println!("{}", space.render_ascii(64, 20));
+    println!("feature dimensions: {FEATURE_NAMES:?}");
+    println!("{:<10} {:>8} {:>8}  cluster", "doc", "x", "y");
+    for p in &space.points {
+        println!("{:<10} {:>8.3} {:>8.3}  {}", p.name, p.x, p.y, p.cluster);
+    }
+
+    // Text-mining panel: characteristic terms of the first few documents.
+    println!("\n--- text mining: characteristic terms ---");
+    for doc in corpus.docs.iter().take(5) {
+        let terms = top_terms(tendax.textdb(), *doc, 3).expect("terms");
+        let name = tendax.textdb().document_info(*doc).expect("info").name;
+        let rendered: Vec<String> = terms
+            .iter()
+            .map(|(t, w)| format!("{t}({w:.3})"))
+            .collect();
+        println!("{name}: {}", rendered.join(", "));
+    }
+
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    std::fs::write("bench_results/figure2_mining.json", space.to_json())
+        .expect("write figure2 json");
+    println!(
+        "\nseries written: bench_results/figure2_mining.json ({} documents, {} clusters)",
+        space.points.len(),
+        space.clusters
+    );
+}

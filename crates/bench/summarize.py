@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Summarize a `cargo bench` log into a markdown table.
+
+Usage: python3 crates/bench/summarize.py bench_output.txt
+
+Parses Criterion output lines of the form
+
+    group/name/param
+                            time:   [lo mid hi]
+
+and prints `| benchmark | median |` rows grouped by experiment prefix,
+ready to paste into EXPERIMENTS.md's appendix.
+"""
+
+import re
+import sys
+from collections import OrderedDict
+
+
+def main(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    results: "OrderedDict[str, str]" = OrderedDict()
+    last_name = None
+    name_re = re.compile(r"^([a-z0-9_]+(?:/[^ ]+)+)")
+    time_re = re.compile(r"time:\s+\[([^\]]+)\]")
+
+    for line in lines:
+        stripped = line.strip()
+        if stripped.startswith("Benchmarking"):
+            continue
+        m = time_re.search(stripped)
+        if m and last_name:
+            parts = m.group(1).split()
+            if len(parts) == 6:  # lo unit mid unit hi unit
+                results[last_name] = f"{parts[2]} {parts[3]}"
+            last_name = None
+            continue
+        m = name_re.match(stripped)
+        if m:
+            last_name = m.group(1)
+
+    current_prefix = None
+    for name, median in results.items():
+        prefix = name.split("_", 1)[0]
+        if prefix != current_prefix:
+            print(f"\n**{prefix.upper()}**\n")
+            print("| benchmark | median |")
+            print("|---|---|")
+            current_prefix = prefix
+        print(f"| `{name}` | {median} |")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")

@@ -1,0 +1,187 @@
+//! Awareness: who is online, on which document, where their cursor is.
+//!
+//! TeNDaX lists "awareness" among the collaboration features the database
+//! approach provides for free: because sessions and cursors are just
+//! shared state, every editor can see everyone else's presence. The
+//! registry is process-local shared state owned by the
+//! [`crate::server::CollabServer`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tendax_text::{DocId, UserId};
+
+use crate::bus::SessionId;
+
+/// The operating system an editor runs on — the demo's "LAN-party"
+/// featured all three.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Platform {
+    WindowsXp,
+    Linux,
+    MacOsX,
+    Other(String),
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Platform::WindowsXp => write!(f, "Windows XP"),
+            Platform::Linux => write!(f, "Linux"),
+            Platform::MacOsX => write!(f, "Mac OS X"),
+            Platform::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One session's presence information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Presence {
+    pub session: SessionId,
+    pub user: UserId,
+    pub user_name: String,
+    pub platform: Platform,
+    /// The document currently focused, if any.
+    pub doc: Option<DocId>,
+    /// Cursor position within that document.
+    pub cursor: Option<usize>,
+    /// Selection range within that document.
+    pub selection: Option<(usize, usize)>,
+    /// Engine-clock timestamp of the last action.
+    pub last_active: i64,
+}
+
+/// Shared presence registry.
+#[derive(Debug, Clone, Default)]
+pub struct AwarenessRegistry {
+    inner: Arc<Mutex<HashMap<SessionId, Presence>>>,
+}
+
+impl AwarenessRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&self, presence: Presence) {
+        self.inner.lock().insert(presence.session, presence);
+    }
+
+    pub fn remove(&self, session: SessionId) {
+        self.inner.lock().remove(&session);
+    }
+
+    /// Mutate a session's presence in place (no-op if disconnected).
+    pub fn update(&self, session: SessionId, f: impl FnOnce(&mut Presence)) {
+        if let Some(p) = self.inner.lock().get_mut(&session) {
+            f(p);
+        }
+    }
+
+    /// Everyone online, ordered by session id.
+    pub fn all(&self) -> Vec<Presence> {
+        let mut v: Vec<Presence> = self.inner.lock().values().cloned().collect();
+        v.sort_by_key(|p| p.session);
+        v
+    }
+
+    /// Sessions currently focused on `doc`.
+    pub fn on_doc(&self, doc: DocId) -> Vec<Presence> {
+        let mut v: Vec<Presence> = self
+            .inner
+            .lock()
+            .values()
+            .filter(|p| p.doc == Some(doc))
+            .cloned()
+            .collect();
+        v.sort_by_key(|p| p.session);
+        v
+    }
+
+    /// Remove sessions whose last activity is older than `before`
+    /// (engine-clock timestamp). Returns the sessions pruned — a server
+    /// housekeeping sweep for editors that vanished without disconnecting.
+    pub fn prune_idle(&self, before: i64) -> Vec<SessionId> {
+        let mut inner = self.inner.lock();
+        let dead: Vec<SessionId> = inner
+            .values()
+            .filter(|p| p.last_active < before)
+            .map(|p| p.session)
+            .collect();
+        for s in &dead {
+            inner.remove(s);
+        }
+        dead
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn presence(session: u64, doc: Option<u64>) -> Presence {
+        Presence {
+            session: SessionId(session),
+            user: UserId(session),
+            user_name: format!("user{session}"),
+            platform: Platform::Linux,
+            doc: doc.map(DocId),
+            cursor: None,
+            selection: None,
+            last_active: 0,
+        }
+    }
+
+    #[test]
+    fn register_update_remove() {
+        let reg = AwarenessRegistry::new();
+        reg.register(presence(1, Some(5)));
+        reg.register(presence(2, None));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.on_doc(DocId(5)).len(), 1);
+
+        reg.update(SessionId(2), |p| {
+            p.doc = Some(DocId(5));
+            p.cursor = Some(3);
+        });
+        assert_eq!(reg.on_doc(DocId(5)).len(), 2);
+        let all = reg.all();
+        assert_eq!(all[1].cursor, Some(3));
+
+        reg.remove(SessionId(1));
+        assert_eq!(reg.len(), 1);
+        // Updating a removed session is a no-op.
+        reg.update(SessionId(1), |p| p.cursor = Some(9));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn prune_idle_sweeps_stale_sessions() {
+        let reg = AwarenessRegistry::new();
+        let mut p1 = presence(1, None);
+        p1.last_active = 10;
+        let mut p2 = presence(2, None);
+        p2.last_active = 100;
+        reg.register(p1);
+        reg.register(p2);
+        let dead = reg.prune_idle(50);
+        assert_eq!(dead, vec![SessionId(1)]);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.prune_idle(50).is_empty());
+    }
+
+    #[test]
+    fn platform_display() {
+        assert_eq!(Platform::WindowsXp.to_string(), "Windows XP");
+        assert_eq!(Platform::MacOsX.to_string(), "Mac OS X");
+        assert_eq!(Platform::Other("BeOS".into()).to_string(), "BeOS");
+    }
+}

@@ -1,0 +1,254 @@
+//! The simulated-LAN event bus.
+//!
+//! The EDBT demo ran editors on several machines on a LAN; committed
+//! transactions were pushed to every connected editor so "everything
+//! which is typed appears within the editor as soon as [it is] stored
+//! persistently". This module reproduces that push channel in-process:
+//! publishers broadcast [`DocEvent`]s, each subscriber has a configurable
+//! one-way latency, and messages become visible to `poll` only after
+//! their latency has elapsed — enough to reproduce the ordering and
+//! awareness behaviour of the real network deterministically.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use tendax_text::{DocId, Effect, OpId, UserId};
+
+/// Identifier of an editor session on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// One committed operation, as broadcast to all editors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocEvent {
+    pub doc: DocId,
+    pub op: OpId,
+    /// Commit timestamp of the transaction that produced the effects.
+    /// Receivers drop events at or below their rebuild snapshot: a full
+    /// refresh already reflects them.
+    pub commit_ts: u64,
+    pub user: UserId,
+    /// The session that performed the edit (receivers skip their own).
+    pub origin: SessionId,
+    pub kind: String,
+    pub effects: Vec<Effect>,
+}
+
+#[derive(Debug)]
+struct Subscriber {
+    doc: DocId,
+    latency: Duration,
+    tx: Sender<(Instant, DocEvent)>,
+}
+
+#[derive(Debug, Default)]
+struct BusInner {
+    subscribers: HashMap<u64, Subscriber>,
+    next_sub: u64,
+    published: u64,
+}
+
+/// The shared broadcast bus. Cheap to clone.
+#[derive(Debug, Clone, Default)]
+pub struct LanBus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+impl LanBus {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe to events of one document with a simulated one-way
+    /// latency. Dropping the returned subscription unsubscribes.
+    pub fn subscribe(&self, doc: DocId, latency: Duration) -> Subscription {
+        let (tx, rx) = unbounded();
+        let mut inner = self.inner.lock();
+        let id = inner.next_sub;
+        inner.next_sub += 1;
+        inner.subscribers.insert(
+            id,
+            Subscriber {
+                doc,
+                latency,
+                tx,
+            },
+        );
+        Subscription {
+            id,
+            rx,
+            pending: Vec::new(),
+            bus: self.clone(),
+        }
+    }
+
+    /// Broadcast an event to all subscribers of its document.
+    pub fn publish(&self, event: DocEvent) {
+        let mut inner = self.inner.lock();
+        inner.published += 1;
+        let now = Instant::now();
+        inner.subscribers.retain(|_, sub| {
+            if sub.doc != event.doc {
+                return true;
+            }
+            let deliver_at = now + sub.latency;
+            // A closed channel means the subscription was dropped.
+            sub.tx.send((deliver_at, event.clone())).is_ok()
+        });
+    }
+
+    /// Total events ever published (bus statistics).
+    pub fn published_count(&self) -> u64 {
+        self.inner.lock().published
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.lock().subscribers.len()
+    }
+
+    fn unsubscribe(&self, id: u64) {
+        self.inner.lock().subscribers.remove(&id);
+    }
+}
+
+/// A receiver of document events, latency-gated.
+#[derive(Debug)]
+pub struct Subscription {
+    id: u64,
+    rx: Receiver<(Instant, DocEvent)>,
+    /// Messages received from the channel but not yet past their latency.
+    pending: Vec<(Instant, DocEvent)>,
+    bus: LanBus,
+}
+
+impl Subscription {
+    /// Events whose simulated latency has elapsed, in publish order.
+    pub fn poll(&mut self) -> Vec<DocEvent> {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.pending.push(msg);
+        }
+        let now = Instant::now();
+        let mut ready = Vec::new();
+        // Delivery preserves publish order: messages entered `pending` in
+        // publish order and latency is constant per subscriber, so the
+        // ready prefix is exactly what has "arrived".
+        let mut keep = Vec::with_capacity(self.pending.len());
+        let mut blocked = false;
+        for (at, ev) in self.pending.drain(..) {
+            if !blocked && at <= now {
+                ready.push(ev);
+            } else {
+                blocked = true;
+                keep.push((at, ev));
+            }
+        }
+        self.pending = keep;
+        ready
+    }
+
+    /// Wait (really sleep) until at least one event is deliverable or the
+    /// timeout expires, then poll.
+    pub fn poll_timeout(&mut self, timeout: Duration) -> Vec<DocEvent> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let ready = self.poll();
+            if !ready.is_empty() || Instant::now() >= deadline {
+                return ready;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Events queued but not yet deliverable (in flight on the "wire").
+    pub fn in_flight(&mut self) -> usize {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.pending.push(msg);
+        }
+        self.pending.len()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.bus.unsubscribe(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(doc: u64, op: u64) -> DocEvent {
+        DocEvent {
+            doc: DocId(doc),
+            op: OpId(op),
+            commit_ts: op,
+            user: UserId(1),
+            origin: SessionId(1),
+            kind: "insert".into(),
+            effects: vec![],
+        }
+    }
+
+    #[test]
+    fn zero_latency_delivery_is_immediate() {
+        let bus = LanBus::new();
+        let mut sub = bus.subscribe(DocId(1), Duration::ZERO);
+        bus.publish(event(1, 10));
+        bus.publish(event(1, 11));
+        let got = sub.poll();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].op, OpId(10));
+        assert_eq!(got[1].op, OpId(11));
+        assert!(sub.poll().is_empty());
+    }
+
+    #[test]
+    fn events_filtered_by_document() {
+        let bus = LanBus::new();
+        let mut sub1 = bus.subscribe(DocId(1), Duration::ZERO);
+        let mut sub2 = bus.subscribe(DocId(2), Duration::ZERO);
+        bus.publish(event(1, 10));
+        assert_eq!(sub1.poll().len(), 1);
+        assert!(sub2.poll().is_empty());
+    }
+
+    #[test]
+    fn latency_gates_delivery() {
+        let bus = LanBus::new();
+        let mut sub = bus.subscribe(DocId(1), Duration::from_millis(30));
+        bus.publish(event(1, 10));
+        assert!(sub.poll().is_empty());
+        assert_eq!(sub.in_flight(), 1);
+        let got = sub.poll_timeout(Duration::from_millis(500));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn order_preserved_under_latency() {
+        let bus = LanBus::new();
+        let mut sub = bus.subscribe(DocId(1), Duration::from_millis(10));
+        for i in 0..5 {
+            bus.publish(event(1, i));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        let got = sub.poll();
+        let ops: Vec<u64> = got.iter().map(|e| e.op.0).collect();
+        assert_eq!(ops, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dropping_subscription_unsubscribes() {
+        let bus = LanBus::new();
+        let sub = bus.subscribe(DocId(1), Duration::ZERO);
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(sub);
+        bus.publish(event(1, 1)); // must not panic; lazily cleaned
+        assert_eq!(bus.subscriber_count(), 0);
+        assert_eq!(bus.published_count(), 1);
+    }
+}

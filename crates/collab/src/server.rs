@@ -1,0 +1,130 @@
+//! The collaboration server: sessions, presence, and the event bus.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tendax_text::{DocId, Result, TextDb};
+
+use crate::awareness::{AwarenessRegistry, Platform, Presence};
+use crate::bus::{LanBus, SessionId};
+use crate::session::EditorSession;
+
+/// The in-process TeNDaX collaboration server.
+///
+/// Owns the shared [`TextDb`], the broadcast [`LanBus`] and the
+/// [`AwarenessRegistry`]. Cheap to clone; every editor session holds one.
+#[derive(Debug, Clone)]
+pub struct CollabServer {
+    tdb: TextDb,
+    bus: LanBus,
+    awareness: AwarenessRegistry,
+    next_session: Arc<AtomicU64>,
+    default_latency: Duration,
+}
+
+impl CollabServer {
+    pub fn new(tdb: TextDb) -> Self {
+        Self::with_latency(tdb, Duration::ZERO)
+    }
+
+    /// A server whose editor links simulate the given one-way latency.
+    pub fn with_latency(tdb: TextDb, default_latency: Duration) -> Self {
+        CollabServer {
+            tdb,
+            bus: LanBus::new(),
+            awareness: AwarenessRegistry::new(),
+            next_session: Arc::new(AtomicU64::new(1)),
+            default_latency,
+        }
+    }
+
+    pub fn textdb(&self) -> &TextDb {
+        &self.tdb
+    }
+
+    pub fn bus(&self) -> &LanBus {
+        &self.bus
+    }
+
+    pub fn awareness(&self) -> &AwarenessRegistry {
+        &self.awareness
+    }
+
+    pub fn default_latency(&self) -> Duration {
+        self.default_latency
+    }
+
+    /// Connect an existing user from an editor on `platform`.
+    pub fn connect(&self, user_name: &str, platform: Platform) -> Result<EditorSession> {
+        self.connect_with_latency(user_name, platform, self.default_latency)
+    }
+
+    /// Connect with an explicit simulated link latency.
+    pub fn connect_with_latency(
+        &self,
+        user_name: &str,
+        platform: Platform,
+        latency: Duration,
+    ) -> Result<EditorSession> {
+        let user = self.tdb.user_by_name(user_name)?;
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        self.awareness.register(Presence {
+            session: id,
+            user,
+            user_name: user_name.to_owned(),
+            platform: platform.clone(),
+            doc: None,
+            cursor: None,
+            selection: None,
+            last_active: self.tdb.now(),
+        });
+        Ok(EditorSession::new(
+            self.clone(),
+            id,
+            user,
+            user_name.to_owned(),
+            platform,
+            latency,
+        ))
+    }
+
+    /// Everyone currently connected.
+    pub fn who_is_online(&self) -> Vec<Presence> {
+        self.awareness.all()
+    }
+
+    /// Sessions currently focused on `doc`.
+    pub fn editors_on(&self, doc: DocId) -> Vec<Presence> {
+        self.awareness.on_doc(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_registers_presence() {
+        let tdb = TextDb::in_memory();
+        tdb.create_user("alice").unwrap();
+        tdb.create_user("bob").unwrap();
+        let server = CollabServer::new(tdb);
+        let s1 = server.connect("alice", Platform::WindowsXp).unwrap();
+        let _s2 = server.connect("bob", Platform::MacOsX).unwrap();
+        let online = server.who_is_online();
+        assert_eq!(online.len(), 2);
+        assert_eq!(online[0].user_name, "alice");
+        assert_eq!(online[0].platform, Platform::WindowsXp);
+        assert_eq!(online[1].platform, Platform::MacOsX);
+        drop(s1);
+        assert_eq!(server.who_is_online().len(), 1);
+    }
+
+    #[test]
+    fn unknown_user_cannot_connect() {
+        let tdb = TextDb::in_memory();
+        let server = CollabServer::new(tdb);
+        assert!(server.connect("ghost", Platform::Linux).is_err());
+    }
+}

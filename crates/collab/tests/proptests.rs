@@ -1,0 +1,104 @@
+//! Property tests for the collaboration layer: editors that sync at
+//! arbitrary points (including never, until the end) always converge,
+//! and the reorder buffer handles any delivery pattern the bus+retry
+//! machinery can produce.
+
+use proptest::prelude::*;
+use tendax_collab::{CollabServer, Platform};
+use tendax_text::{TextDb, TextError};
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Editor `e` types at a pseudo-position.
+    Type { editor: usize, pos: usize },
+    /// Editor `e` deletes one char at a pseudo-position.
+    Delete { editor: usize, pos: usize },
+    /// Editor `e` pulls from the bus.
+    Sync { editor: usize },
+}
+
+fn arb_step(n_editors: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0..n_editors, any::<usize>()).prop_map(|(editor, pos)| Step::Type { editor, pos }),
+        2 => (0..n_editors, any::<usize>()).prop_map(|(editor, pos)| Step::Delete { editor, pos }),
+        2 => (0..n_editors).prop_map(|editor| Step::Sync { editor }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any interleaving of edits and syncs across three editors ends in
+    /// convergence once everyone drains their queue, and the converged
+    /// text matches a fresh open straight from the database.
+    #[test]
+    fn editors_converge_under_arbitrary_sync_patterns(
+        script in proptest::collection::vec(arb_step(3), 1..60)
+    ) {
+        let tdb = TextDb::in_memory();
+        let creator = tdb.create_user("user0").unwrap();
+        tdb.create_user("user1").unwrap();
+        tdb.create_user("user2").unwrap();
+        tdb.create_document("doc", creator).unwrap();
+        let server = CollabServer::new(tdb);
+        let sessions: Vec<_> = (0..3)
+            .map(|i| {
+                server
+                    .connect(&format!("user{i}"), Platform::Linux)
+                    .unwrap()
+            })
+            .collect();
+        let mut editors: Vec<_> = sessions.iter().map(|s| s.open("doc").unwrap()).collect();
+
+        for step in script {
+            match step {
+                // Positions are computed against the editor's local view;
+                // the session syncs before editing, so a position can
+                // become invalid (exactly like a user's stale cursor in a
+                // real editor). Such actions are dropped, never corrupt.
+                Step::Type { editor, pos } => {
+                    let e = &mut editors[editor];
+                    let p = pos % (e.len() + 1);
+                    let marker = char::from_digit(editor as u32, 10).unwrap();
+                    match e.type_text(p, &marker.to_string()) {
+                        Ok(_) | Err(TextError::InvalidPosition { .. }) => {}
+                        Err(other) => return Err(TestCaseError::fail(other.to_string())),
+                    }
+                }
+                Step::Delete { editor, pos } => {
+                    let e = &mut editors[editor];
+                    if e.len() > 0 {
+                        let p = pos % e.len();
+                        match e.delete(p, 1) {
+                            Ok(_) | Err(TextError::InvalidPosition { .. }) => {}
+                            Err(other) => return Err(TestCaseError::fail(other.to_string())),
+                        }
+                    }
+                }
+                Step::Sync { editor } => {
+                    editors[editor].sync();
+                }
+            }
+        }
+
+        // Everyone drains (a couple of rounds, since syncs can publish
+        // nothing new but reorder buffers may hold entries).
+        for _ in 0..4 {
+            for e in editors.iter_mut() {
+                e.sync();
+            }
+        }
+        let reference = {
+            let tdb = server.textdb();
+            let doc = tdb.document_by_name("doc").unwrap();
+            tdb.open(doc, creator).unwrap().text()
+        };
+        for (i, e) in editors.iter().enumerate() {
+            prop_assert_eq!(
+                e.text(),
+                reference.clone(),
+                "editor {} diverged", i
+            );
+        }
+    }
+}

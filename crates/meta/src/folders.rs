@@ -1,0 +1,482 @@
+//! Dynamic folders: virtual folders defined by metadata predicates.
+//!
+//! "A dynamic folder can contain all documents a certain user has read
+//! within the last week. Its content is fluent and may change within
+//! seconds." A folder stores a [`FolderRule`]; evaluation runs the rule
+//! against the live metadata tables, and [`FolderSet`] tracks membership
+//! deltas between refreshes.
+
+use serde::{Deserialize, Serialize};
+use tendax_storage::{DataType, Predicate, Row, StorageError, TableDef, TableId, Value};
+use tendax_text::{DocId, Result, TextDb, TextError, UserId};
+
+/// The predicate language of dynamic folders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FolderRule {
+    /// Documents `user` has read at or after the given engine timestamp.
+    ReadBy { user: u64, since: i64 },
+    /// Documents where `user` authored at least one character.
+    AuthoredBy { user: u64 },
+    /// Documents created by `user`.
+    CreatedBy { user: u64 },
+    /// Documents in a workflow state (`draft`, `review`, `final`, …).
+    StateIs(String),
+    /// Document name contains the given substring.
+    NameContains(String),
+    /// Visible content contains the given substring.
+    ContentContains(String),
+    /// Documents containing text pasted from `doc`.
+    PastedFrom { doc: u64 },
+    /// Documents edited (any logged operation) at or after the timestamp.
+    EditedSince(i64),
+    /// Documents with at least `n` visible characters.
+    MinSize(usize),
+    /// Documents with at least one pending workflow task (requires the
+    /// process schema; matches nothing if it is not installed).
+    HasOpenTasks,
+    All(Vec<FolderRule>),
+    Any(Vec<FolderRule>),
+    Not(Box<FolderRule>),
+}
+
+impl FolderRule {
+    pub fn and(self, other: FolderRule) -> FolderRule {
+        match self {
+            FolderRule::All(mut v) => {
+                v.push(other);
+                FolderRule::All(v)
+            }
+            s => FolderRule::All(vec![s, other]),
+        }
+    }
+
+    pub fn or(self, other: FolderRule) -> FolderRule {
+        FolderRule::Any(vec![self, other])
+    }
+}
+
+/// Identifier of a stored folder definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FolderId(pub u64);
+
+/// A stored folder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Folder {
+    pub id: FolderId,
+    pub name: String,
+    pub owner: UserId,
+    pub rule: FolderRule,
+}
+
+/// Membership change reported by [`FolderSet::refresh`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FolderChange {
+    Added(DocId),
+    Removed(DocId),
+}
+
+fn folders_def() -> TableDef {
+    TableDef::new("folders")
+        .column("name", DataType::Text)
+        .column("owner", DataType::Id)
+        .column("rule", DataType::Text)
+        .unique_index("folders_by_name", &["name"])
+}
+
+/// The dynamic-folder engine.
+#[derive(Debug, Clone)]
+pub struct DynamicFolders {
+    tdb: TextDb,
+    table: TableId,
+}
+
+impl DynamicFolders {
+    pub fn init(tdb: TextDb) -> Result<DynamicFolders> {
+        let db = tdb.database();
+        match db.create_table(folders_def()) {
+            Ok(_) | Err(StorageError::TableExists(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        let table = db.table_id("folders")?;
+        Ok(DynamicFolders { tdb, table })
+    }
+
+    pub fn textdb(&self) -> &TextDb {
+        &self.tdb
+    }
+
+    /// Persist a folder definition.
+    pub fn create_folder(&self, name: &str, owner: UserId, rule: FolderRule) -> Result<FolderId> {
+        let encoded = serde_json::to_string(&rule)
+            .map_err(|e| TextError::ChainCorrupt(format!("rule encoding failed: {e}")))?;
+        let mut txn = self.tdb.database().begin();
+        let rid = txn.insert(
+            self.table,
+            Row::new(vec![
+                Value::Text(name.to_owned()),
+                owner.value(),
+                Value::Text(encoded),
+            ]),
+        )?;
+        txn.commit().map_err(|e| match e {
+            StorageError::UniqueViolation { .. } => TextError::NameTaken(name.to_owned()),
+            other => other.into(),
+        })?;
+        Ok(FolderId(rid.0))
+    }
+
+    pub fn delete_folder(&self, id: FolderId) -> Result<()> {
+        let mut txn = self.tdb.database().begin();
+        txn.delete(self.table, tendax_storage::RowId(id.0))?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// All stored folders.
+    pub fn folders(&self) -> Result<Vec<Folder>> {
+        let txn = self.tdb.database().begin();
+        let mut out = Vec::new();
+        for (rid, row) in txn.scan(self.table, &Predicate::True)? {
+            let rule_text = row.get(2).and_then(|v| v.as_text()).unwrap_or("");
+            let rule: FolderRule = serde_json::from_str(rule_text)
+                .map_err(|e| TextError::ChainCorrupt(format!("bad stored rule: {e}")))?;
+            out.push(Folder {
+                id: FolderId(rid.0),
+                name: row
+                    .get(0)
+                    .and_then(|v| v.as_text())
+                    .unwrap_or_default()
+                    .to_owned(),
+                owner: row.get(1).map(UserId::from_value).unwrap_or(UserId::NONE),
+                rule,
+            });
+        }
+        out.sort_by_key(|f| f.id);
+        Ok(out)
+    }
+
+    pub fn folder_by_name(&self, name: &str) -> Result<Folder> {
+        self.folders()?
+            .into_iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| TextError::UnknownDocument(format!("folder {name}")))
+    }
+
+    /// Evaluate a folder's current contents, sorted by document id.
+    pub fn evaluate(&self, folder: FolderId) -> Result<Vec<DocId>> {
+        let f = self
+            .folders()?
+            .into_iter()
+            .find(|f| f.id == folder)
+            .ok_or_else(|| TextError::UnknownDocument(format!("folder {folder:?}")))?;
+        self.evaluate_rule(&f.rule)
+    }
+
+    /// Evaluate an ad-hoc rule against the live metadata.
+    pub fn evaluate_rule(&self, rule: &FolderRule) -> Result<Vec<DocId>> {
+        let docs = self.tdb.list_documents()?;
+        let mut out = Vec::new();
+        for d in docs {
+            if self.matches(rule, d.id)? {
+                out.push(d.id);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn matches(&self, rule: &FolderRule, doc: DocId) -> Result<bool> {
+        Ok(match rule {
+            FolderRule::ReadBy { user, since } => self
+                .tdb
+                .docs_read_by(UserId(*user), *since)?
+                .iter()
+                .any(|(d, _)| *d == doc),
+            FolderRule::AuthoredBy { user } => self
+                .tdb
+                .doc_stats(doc)?
+                .authors
+                .contains(&UserId(*user)),
+            FolderRule::CreatedBy { user } => {
+                self.tdb.document_info(doc)?.creator == UserId(*user)
+            }
+            FolderRule::StateIs(s) => self.tdb.document_info(doc)?.state == *s,
+            FolderRule::NameContains(s) => self.tdb.document_info(doc)?.name.contains(s.as_str()),
+            FolderRule::ContentContains(s) => {
+                let info = self.tdb.document_info(doc)?;
+                let handle = self.tdb.open(doc, info.creator)?;
+                handle.text().contains(s.as_str())
+            }
+            FolderRule::PastedFrom { doc: src } => {
+                let t = self.tdb.tables();
+                let txn = self.tdb.database().begin();
+                txn.index_lookup(t.paste_events, "paste_events_by_src", &[Value::Id(*src)])?
+                    .into_iter()
+                    .any(|(_, row)| row.get(0).map(DocId::from_value) == Some(doc))
+            }
+            FolderRule::EditedSince(since) => {
+                let t = self.tdb.tables();
+                let txn = self.tdb.database().begin();
+                txn.index_lookup(t.oplog, "oplog_by_doc", &[doc.value()])?
+                    .into_iter()
+                    .any(|(_, row)| {
+                        row.get(2).and_then(|v| v.as_timestamp()).unwrap_or(0) >= *since
+                    })
+            }
+            FolderRule::MinSize(n) => self.tdb.doc_stats(doc)?.size >= *n,
+            FolderRule::HasOpenTasks => {
+                // Resolved by table name so the folder engine needs no
+                // compile-time dependency on the process crate.
+                let Ok(tasks) = self.tdb.database().table_id("tasks") else {
+                    return Ok(false);
+                };
+                let txn = self.tdb.database().begin();
+                !txn.scan(
+                    tasks,
+                    &Predicate::Eq("doc".into(), doc.value()).and(Predicate::Eq(
+                        "state".into(),
+                        Value::Text("pending".into()),
+                    )),
+                )?
+                .is_empty()
+            }
+            FolderRule::All(rules) => {
+                for r in rules {
+                    if !self.matches(r, doc)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            FolderRule::Any(rules) => {
+                for r in rules {
+                    if self.matches(r, doc)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+            FolderRule::Not(r) => !self.matches(r, doc)?,
+        })
+    }
+
+    /// A live view of one folder that reports deltas on refresh.
+    pub fn watch(&self, folder: FolderId) -> Result<FolderSet> {
+        let contents = self.evaluate(folder)?;
+        Ok(FolderSet {
+            engine: self.clone(),
+            folder,
+            contents,
+        })
+    }
+}
+
+/// A folder's cached contents plus delta computation — the "fluent"
+/// behaviour of the demo ("may change within seconds").
+#[derive(Debug)]
+pub struct FolderSet {
+    engine: DynamicFolders,
+    folder: FolderId,
+    contents: Vec<DocId>,
+}
+
+impl FolderSet {
+    pub fn contents(&self) -> &[DocId] {
+        &self.contents
+    }
+
+    /// Re-evaluate; returns the membership changes since last time.
+    pub fn refresh(&mut self) -> Result<Vec<FolderChange>> {
+        let fresh = self.engine.evaluate(self.folder)?;
+        let mut changes = Vec::new();
+        for d in &fresh {
+            if !self.contents.contains(d) {
+                changes.push(FolderChange::Added(*d));
+            }
+        }
+        for d in &self.contents {
+            if !fresh.contains(d) {
+                changes.push(FolderChange::Removed(*d));
+            }
+        }
+        self.contents = fresh;
+        Ok(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TextDb, DynamicFolders, UserId, UserId) {
+        let tdb = TextDb::in_memory();
+        let alice = tdb.create_user("alice").unwrap();
+        let bob = tdb.create_user("bob").unwrap();
+        let folders = DynamicFolders::init(tdb.clone()).unwrap();
+        (tdb, folders, alice, bob)
+    }
+
+    #[test]
+    fn read_by_folder_tracks_reads() {
+        let (tdb, folders, alice, bob) = setup();
+        let d1 = tdb.create_document("a", alice).unwrap();
+        let d2 = tdb.create_document("b", alice).unwrap();
+        let f = folders
+            .create_folder(
+                "bob-read-recently",
+                bob,
+                FolderRule::ReadBy { user: bob.0, since: 0 },
+            )
+            .unwrap();
+        assert!(folders.evaluate(f).unwrap().is_empty());
+        let _h = tdb.open(d1, bob).unwrap();
+        assert_eq!(folders.evaluate(f).unwrap(), vec![d1]);
+        let _h = tdb.open(d2, bob).unwrap();
+        assert_eq!(folders.evaluate(f).unwrap(), vec![d1, d2]);
+    }
+
+    #[test]
+    fn folder_set_reports_deltas() {
+        let (tdb, folders, alice, _bob) = setup();
+        let d1 = tdb.create_document("draft-1", alice).unwrap();
+        let f = folders
+            .create_folder("drafts", alice, FolderRule::StateIs("draft".into()))
+            .unwrap();
+        let mut set = folders.watch(f).unwrap();
+        assert_eq!(set.contents(), &[d1]);
+
+        let d2 = tdb.create_document("draft-2", alice).unwrap();
+        tdb.set_document_state(d1, "final", alice).unwrap();
+        let mut changes = set.refresh().unwrap();
+        changes.sort_by_key(|c| match c {
+            FolderChange::Added(d) => (0, d.0),
+            FolderChange::Removed(d) => (1, d.0),
+        });
+        assert_eq!(
+            changes,
+            vec![FolderChange::Added(d2), FolderChange::Removed(d1)]
+        );
+        assert_eq!(set.refresh().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn authored_by_and_content_rules() {
+        let (tdb, folders, alice, bob) = setup();
+        let d1 = tdb.create_document("a", alice).unwrap();
+        let d2 = tdb.create_document("b", alice).unwrap();
+        let mut h = tdb.open(d1, bob).unwrap();
+        h.insert_text(0, "bob wrote this secret word").unwrap();
+        let mut h2 = tdb.open(d2, alice).unwrap();
+        h2.insert_text(0, "alice only").unwrap();
+
+        assert_eq!(
+            folders
+                .evaluate_rule(&FolderRule::AuthoredBy { user: bob.0 })
+                .unwrap(),
+            vec![d1]
+        );
+        assert_eq!(
+            folders
+                .evaluate_rule(&FolderRule::ContentContains("secret".into()))
+                .unwrap(),
+            vec![d1]
+        );
+        assert_eq!(
+            folders
+                .evaluate_rule(&FolderRule::NameContains("b".into()))
+                .unwrap(),
+            vec![d2]
+        );
+    }
+
+    #[test]
+    fn combinators() {
+        let (tdb, folders, alice, bob) = setup();
+        let d1 = tdb.create_document("x1", alice).unwrap();
+        let _d2 = tdb.create_document("x2", bob).unwrap();
+        let rule = FolderRule::CreatedBy { user: alice.0 }
+            .and(FolderRule::StateIs("draft".into()));
+        assert_eq!(folders.evaluate_rule(&rule).unwrap(), vec![d1]);
+        let none = FolderRule::CreatedBy { user: alice.0 }
+            .and(FolderRule::Not(Box::new(FolderRule::StateIs(
+                "draft".into(),
+            ))));
+        assert!(folders.evaluate_rule(&none).unwrap().is_empty());
+        let either = FolderRule::CreatedBy { user: alice.0 }
+            .or(FolderRule::CreatedBy { user: bob.0 });
+        assert_eq!(folders.evaluate_rule(&either).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pasted_from_rule() {
+        let (tdb, folders, alice, _bob) = setup();
+        let src = tdb.create_document("src", alice).unwrap();
+        let dst = tdb.create_document("dst", alice).unwrap();
+        let _other = tdb.create_document("other", alice).unwrap();
+        let mut hs = tdb.open(src, alice).unwrap();
+        hs.insert_text(0, "reusable text").unwrap();
+        let clip = hs.copy(0, 8).unwrap();
+        let mut hd = tdb.open(dst, alice).unwrap();
+        hd.paste(0, &clip).unwrap();
+        assert_eq!(
+            folders
+                .evaluate_rule(&FolderRule::PastedFrom { doc: src.0 })
+                .unwrap(),
+            vec![dst]
+        );
+    }
+
+    #[test]
+    fn has_open_tasks_without_process_schema_matches_nothing() {
+        let (tdb, folders, alice, _bob) = setup();
+        tdb.create_document("a", alice).unwrap();
+        assert!(folders
+            .evaluate_rule(&FolderRule::HasOpenTasks)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn folder_definitions_persist() {
+        let (_tdb, folders, alice, _bob) = setup();
+        folders
+            .create_folder("mine", alice, FolderRule::CreatedBy { user: alice.0 })
+            .unwrap();
+        let all = folders.folders().unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].name, "mine");
+        assert_eq!(all[0].rule, FolderRule::CreatedBy { user: alice.0 });
+        let by_name = folders.folder_by_name("mine").unwrap();
+        assert_eq!(by_name.id, all[0].id);
+        assert!(matches!(
+            folders.create_folder("mine", alice, FolderRule::MinSize(1)),
+            Err(TextError::NameTaken(_))
+        ));
+        folders.delete_folder(all[0].id).unwrap();
+        assert!(folders.folders().unwrap().is_empty());
+    }
+
+    #[test]
+    fn edited_since_and_min_size() {
+        let (tdb, folders, alice, _bob) = setup();
+        let d1 = tdb.create_document("a", alice).unwrap();
+        let _d2 = tdb.create_document("b", alice).unwrap();
+        let cutoff = tdb.now();
+        let mut h = tdb.open(d1, alice).unwrap();
+        h.insert_text(0, "12345").unwrap();
+        assert_eq!(
+            folders
+                .evaluate_rule(&FolderRule::EditedSince(cutoff))
+                .unwrap(),
+            vec![d1]
+        );
+        assert_eq!(
+            folders.evaluate_rule(&FolderRule::MinSize(5)).unwrap(),
+            vec![d1]
+        );
+        assert!(folders
+            .evaluate_rule(&FolderRule::MinSize(6))
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the dynamic-folder rule algebra: rules evaluate
+//! without panicking on arbitrary trees, boolean laws hold, and every
+//! rule round-trips through its stored (JSON) encoding.
+
+use proptest::prelude::*;
+use tendax_meta::{DynamicFolders, FolderRule};
+use tendax_text::TextDb;
+
+fn leaf() -> impl Strategy<Value = FolderRule> {
+    prop_oneof![
+        (1u64..4).prop_map(|user| FolderRule::ReadBy { user, since: 0 }),
+        (1u64..4).prop_map(|user| FolderRule::AuthoredBy { user }),
+        (1u64..4).prop_map(|user| FolderRule::CreatedBy { user }),
+        prop_oneof![Just("draft".to_string()), Just("final".to_string())]
+            .prop_map(FolderRule::StateIs),
+        "[a-c]{1,3}".prop_map(FolderRule::NameContains),
+        (0usize..30).prop_map(FolderRule::MinSize),
+        Just(FolderRule::HasOpenTasks),
+    ]
+}
+
+fn arb_rule() -> impl Strategy<Value = FolderRule> {
+    leaf().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(FolderRule::All),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(FolderRule::Any),
+            inner.prop_map(|r| FolderRule::Not(Box::new(r))),
+        ]
+    })
+}
+
+fn corpus() -> (TextDb, DynamicFolders) {
+    let tdb = TextDb::in_memory();
+    let alice = tdb.create_user("alice").unwrap();
+    let bob = tdb.create_user("bob").unwrap();
+    let carol = tdb.create_user("carol").unwrap();
+    for (i, (creator, author)) in [(alice, bob), (bob, carol), (carol, alice), (alice, alice)]
+        .iter()
+        .enumerate()
+    {
+        let d = tdb
+            .create_document(&format!("doc-{}{}", (b'a' + i as u8) as char, i), *creator)
+            .unwrap();
+        let mut h = tdb.open(d, *author).unwrap();
+        h.insert_text(0, &"abc ".repeat(i * 3 + 1)).unwrap();
+        if i % 2 == 0 {
+            tdb.set_document_state(d, "final", *creator).unwrap();
+        }
+    }
+    let folders = DynamicFolders::init(tdb.clone()).unwrap();
+    (tdb, folders)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary rule trees evaluate, and boolean laws hold against the
+    /// same corpus: double negation, De Morgan, and idempotence.
+    #[test]
+    fn rule_algebra_laws(r in arb_rule(), s in arb_rule()) {
+        let (_tdb, folders) = corpus();
+        let eval = |rule: &FolderRule| folders.evaluate_rule(rule).unwrap();
+
+        // Double negation.
+        let not_not = FolderRule::Not(Box::new(FolderRule::Not(Box::new(r.clone()))));
+        prop_assert_eq!(eval(&r), eval(&not_not));
+
+        // De Morgan: !(r && s) == !r || !s
+        let lhs = FolderRule::Not(Box::new(FolderRule::All(vec![r.clone(), s.clone()])));
+        let rhs = FolderRule::Any(vec![
+            FolderRule::Not(Box::new(r.clone())),
+            FolderRule::Not(Box::new(s.clone())),
+        ]);
+        prop_assert_eq!(eval(&lhs), eval(&rhs));
+
+        // Idempotence: r && r == r
+        prop_assert_eq!(eval(&FolderRule::All(vec![r.clone(), r.clone()])), eval(&r));
+
+        // All() result is the intersection; Any() the union.
+        let both = eval(&FolderRule::All(vec![r.clone(), s.clone()]));
+        let either = eval(&FolderRule::Any(vec![r.clone(), s.clone()]));
+        for d in &both {
+            prop_assert!(eval(&r).contains(d) && eval(&s).contains(d));
+        }
+        for d in eval(&r) {
+            prop_assert!(either.contains(&d));
+        }
+    }
+
+    /// Every rule survives storage: create a folder, read it back, and
+    /// the evaluated contents match the ad-hoc evaluation.
+    #[test]
+    fn rules_roundtrip_through_persistence(r in arb_rule()) {
+        let (_tdb, folders) = corpus();
+        let owner = folders.textdb().user_by_name("alice").unwrap();
+        let id = folders.create_folder("probe", owner, r.clone()).unwrap();
+        let stored = folders.folder_by_name("probe").unwrap();
+        prop_assert_eq!(&stored.rule, &r);
+        prop_assert_eq!(
+            folders.evaluate(id).unwrap(),
+            folders.evaluate_rule(&r).unwrap()
+        );
+    }
+}

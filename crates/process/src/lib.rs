@@ -1,0 +1,37 @@
+//! # tendax-process
+//!
+//! Dynamic, in-document business processes for the TeNDaX reproduction —
+//! the demo's "Business process definitions and flow" item and the
+//! companion paper "Dynamic Collaborative Business Processes within
+//! Documents" (Hodel, Gall, Dittrich, ACM SIGDOC 2004).
+//!
+//! Workflow tasks ("translate §2", "verify the appendix") live inside
+//! documents: each task is a database row optionally anchored to a
+//! character range, assigned to a user or role, and routed through
+//! predecessor edges. Tasks can be created, re-assigned and re-routed at
+//! run time; every transition is an audited transaction.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tendax_process::{Assignee, ProcessEngine, TaskSpec};
+//! use tendax_text::TextDb;
+//!
+//! let tdb = TextDb::in_memory();
+//! let alice = tdb.create_user("alice").unwrap();
+//! let bob = tdb.create_user("bob").unwrap();
+//! let doc = tdb.create_document("contract", alice).unwrap();
+//!
+//! let engine = ProcessEngine::init(tdb).unwrap();
+//! let task = engine
+//!     .define_task(doc, alice, TaskSpec::new("verify", Assignee::User(bob)))
+//!     .unwrap();
+//! assert_eq!(engine.inbox(bob).unwrap().len(), 1);
+//! engine.complete(task, bob, "looks good").unwrap();
+//! ```
+
+pub mod engine;
+pub mod model;
+
+pub use engine::{ProcessEngine, ProcessTables};
+pub use model::{Assignee, Task, TaskId, TaskLogEntry, TaskSpec, TaskState};

@@ -1,0 +1,202 @@
+//! The workflow data model: tasks bound to document parts.
+
+use tendax_text::{CharId, DocId, RoleId, UserId};
+
+/// Identifier of a workflow task (a row in the `tasks` table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    pub const NONE: TaskId = TaskId(0);
+
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskId({})", self.0)
+    }
+}
+
+/// Who a task is assigned to — a specific user or anyone holding a role
+/// ("tasks such as translation or verification … can be assigned to
+/// specific users or roles").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignee {
+    User(UserId),
+    Role(RoleId),
+}
+
+impl Assignee {
+    pub(crate) fn kind_str(self) -> &'static str {
+        match self {
+            Assignee::User(_) => "user",
+            Assignee::Role(_) => "role",
+        }
+    }
+
+    pub(crate) fn id(self) -> u64 {
+        match self {
+            Assignee::User(u) => u.0,
+            Assignee::Role(r) => r.0,
+        }
+    }
+}
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting (possibly on a predecessor).
+    Pending,
+    /// Completed successfully.
+    Done,
+    /// Explicitly rejected by the assignee.
+    Rejected,
+    /// Withdrawn by the workflow owner.
+    Cancelled,
+}
+
+impl TaskState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskState::Pending => "pending",
+            TaskState::Done => "done",
+            TaskState::Rejected => "rejected",
+            TaskState::Cancelled => "cancelled",
+        }
+    }
+
+    #[allow(clippy::should_implement_trait)] // infallible-Option parse, not FromStr
+    pub fn from_str(s: &str) -> Option<TaskState> {
+        Some(match s {
+            "pending" => TaskState::Pending,
+            "done" => TaskState::Done,
+            "rejected" => TaskState::Rejected,
+            "cancelled" => TaskState::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// Terminal states never transition again.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, TaskState::Pending)
+    }
+}
+
+/// Specification for creating a task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    pub name: String,
+    pub description: String,
+    pub assignee: Assignee,
+    /// Optional due timestamp (engine clock).
+    pub due: Option<i64>,
+    /// Optional anchored document part the task refers to.
+    pub range: Option<(CharId, CharId)>,
+    /// Optional predecessor: this task only becomes actionable once the
+    /// predecessor is done.
+    pub predecessor: Option<TaskId>,
+}
+
+impl TaskSpec {
+    pub fn new(name: impl Into<String>, assignee: Assignee) -> Self {
+        TaskSpec {
+            name: name.into(),
+            description: String::new(),
+            assignee,
+            due: None,
+            range: None,
+            predecessor: None,
+        }
+    }
+
+    pub fn description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+
+    pub fn due(mut self, ts: i64) -> Self {
+        self.due = Some(ts);
+        self
+    }
+
+    pub fn range(mut self, from: CharId, to: CharId) -> Self {
+        self.range = Some((from, to));
+        self
+    }
+
+    pub fn after(mut self, pred: TaskId) -> Self {
+        self.predecessor = Some(pred);
+        self
+    }
+}
+
+/// A task as read back from the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    pub id: TaskId,
+    pub doc: DocId,
+    pub name: String,
+    pub description: String,
+    pub assignee: Assignee,
+    pub created_by: UserId,
+    pub created_at: i64,
+    pub due: Option<i64>,
+    pub state: TaskState,
+    pub range: Option<(CharId, CharId)>,
+    pub predecessor: Option<TaskId>,
+    pub completed_by: Option<UserId>,
+    pub completed_at: Option<i64>,
+}
+
+/// One audit-log entry of a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskLogEntry {
+    pub task: TaskId,
+    pub ts: i64,
+    pub user: UserId,
+    pub action: String,
+    pub note: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_roundtrip() {
+        for s in [
+            TaskState::Pending,
+            TaskState::Done,
+            TaskState::Rejected,
+            TaskState::Cancelled,
+        ] {
+            assert_eq!(TaskState::from_str(s.as_str()), Some(s));
+        }
+        assert_eq!(TaskState::from_str("bogus"), None);
+        assert!(!TaskState::Pending.is_terminal());
+        assert!(TaskState::Done.is_terminal());
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = TaskSpec::new("translate", Assignee::User(UserId(3)))
+            .description("translate §2 to German")
+            .due(99)
+            .range(CharId(1), CharId(9))
+            .after(TaskId(7));
+        assert_eq!(spec.name, "translate");
+        assert_eq!(spec.due, Some(99));
+        assert_eq!(spec.range, Some((CharId(1), CharId(9))));
+        assert_eq!(spec.predecessor, Some(TaskId(7)));
+    }
+
+    #[test]
+    fn assignee_encoding() {
+        assert_eq!(Assignee::User(UserId(5)).kind_str(), "user");
+        assert_eq!(Assignee::Role(RoleId(2)).kind_str(), "role");
+        assert_eq!(Assignee::Role(RoleId(2)).id(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the workflow engine: a random script of task
+//! operations against a simple model; lifecycle invariants must hold at
+//! every step.
+
+
+use proptest::prelude::*;
+use tendax_process::{Assignee, ProcessEngine, TaskId, TaskSpec, TaskState};
+use tendax_text::{DocId, TextDb, UserId};
+
+#[derive(Debug, Clone)]
+enum WfOp {
+    Define { assignee: usize, after: Option<usize> },
+    Complete(usize),
+    Reject(usize),
+    Cancel(usize),
+    Reassign { task: usize, to: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = WfOp> {
+    prop_oneof![
+        (any::<usize>(), proptest::option::of(any::<usize>()))
+            .prop_map(|(assignee, after)| WfOp::Define { assignee, after }),
+        any::<usize>().prop_map(WfOp::Complete),
+        any::<usize>().prop_map(WfOp::Reject),
+        any::<usize>().prop_map(WfOp::Cancel),
+        (any::<usize>(), any::<usize>()).prop_map(|(task, to)| WfOp::Reassign { task, to }),
+    ]
+}
+
+struct ModelTask {
+    assignee: usize,
+    state: TaskState,
+    pred: Option<usize>,
+}
+
+struct World {
+    engine: ProcessEngine,
+    users: Vec<UserId>,
+    doc: DocId,
+    creator: UserId,
+    ids: Vec<TaskId>,
+    model: Vec<ModelTask>,
+}
+
+impl World {
+    fn new(n_users: usize) -> World {
+        let tdb = TextDb::in_memory();
+        let creator = tdb.create_user("creator").unwrap();
+        let users: Vec<UserId> = (0..n_users)
+            .map(|i| tdb.create_user(&format!("u{i}")).unwrap())
+            .collect();
+        let doc = tdb.create_document("d", creator).unwrap();
+        let engine = ProcessEngine::init(tdb).unwrap();
+        World {
+            engine,
+            users,
+            doc,
+            creator,
+            ids: Vec::new(),
+            model: Vec::new(),
+        }
+    }
+
+    fn actionable(&self, k: usize) -> bool {
+        self.model[k].state == TaskState::Pending
+            && self.model[k]
+                .pred
+                .is_none_or(|p| self.model[p].state == TaskState::Done)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn workflow_engine_matches_model(script in proptest::collection::vec(arb_op(), 1..40)) {
+        let mut w = World::new(3);
+        for op in script {
+            match op {
+                WfOp::Define { assignee, after } => {
+                    let assignee = assignee % w.users.len();
+                    let mut spec = TaskSpec::new(
+                        format!("t{}", w.ids.len()),
+                        Assignee::User(w.users[assignee]),
+                    );
+                    let pred = after.map(|a| a % (w.ids.len() + 1)).filter(|a| *a < w.ids.len());
+                    if let Some(p) = pred {
+                        spec = spec.after(w.ids[p]);
+                    }
+                    let id = w.engine.define_task(w.doc, w.creator, spec).unwrap();
+                    w.ids.push(id);
+                    w.model.push(ModelTask {
+                        assignee,
+                        state: TaskState::Pending,
+                        pred,
+                    });
+                }
+                WfOp::Complete(k) | WfOp::Reject(k) => {
+                    if w.ids.is_empty() {
+                        continue;
+                    }
+                    let k = k % w.ids.len();
+                    let reject = matches!(op, WfOp::Reject(_));
+                    let user = w.users[w.model[k].assignee];
+                    let result = if reject {
+                        w.engine.reject(w.ids[k], user, "")
+                    } else {
+                        w.engine.complete(w.ids[k], user, "")
+                    };
+                    if w.actionable(k) {
+                        prop_assert!(result.is_ok(), "actionable transition refused");
+                        w.model[k].state = if reject {
+                            TaskState::Rejected
+                        } else {
+                            TaskState::Done
+                        };
+                    } else {
+                        prop_assert!(result.is_err(), "blocked/terminal transition allowed");
+                    }
+                    // Wrong user must always be refused on pending tasks.
+                    let wrong = w.users[(w.model[k].assignee + 1) % w.users.len()];
+                    prop_assert!(w.engine.complete(w.ids[k], wrong, "").is_err());
+                }
+                WfOp::Cancel(k) => {
+                    if w.ids.is_empty() {
+                        continue;
+                    }
+                    let k = k % w.ids.len();
+                    let result = w.engine.cancel(w.ids[k], w.creator, "");
+                    if w.model[k].state == TaskState::Pending {
+                        prop_assert!(result.is_ok());
+                        w.model[k].state = TaskState::Cancelled;
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                WfOp::Reassign { task, to } => {
+                    if w.ids.is_empty() {
+                        continue;
+                    }
+                    let k = task % w.ids.len();
+                    let to = to % w.users.len();
+                    let result = w.engine.reassign(
+                        w.ids[k],
+                        w.creator, // creator always holds DefineProcess
+                        Assignee::User(w.users[to]),
+                    );
+                    if w.model[k].state == TaskState::Pending {
+                        prop_assert!(result.is_ok());
+                        w.model[k].assignee = to;
+                    } else {
+                        prop_assert!(result.is_err(), "re-routing a terminal task allowed");
+                    }
+                }
+            }
+
+            // Invariants after every step.
+            for (k, id) in w.ids.iter().enumerate() {
+                let task = w.engine.task(*id).unwrap();
+                prop_assert_eq!(task.state, w.model[k].state);
+            }
+            // Inboxes contain exactly the actionable pending tasks.
+            for (u, user) in w.users.iter().enumerate() {
+                let inbox: Vec<TaskId> =
+                    w.engine.inbox(*user).unwrap().iter().map(|t| t.id).collect();
+                let expected: Vec<TaskId> = w
+                    .ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| w.model[*k].assignee == u && w.actionable(*k))
+                    .map(|(_, id)| *id)
+                    .collect();
+                prop_assert_eq!(inbox, expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Rows and row identifiers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Stable identifier of a row within one table. Never reused.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    pub const fn new(v: u64) -> Self {
+        RowId(v)
+    }
+}
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A materialized row: the values in schema column order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    pub fn get(&self, pos: usize) -> Option<&Value> {
+        self.values.get(pos)
+    }
+
+    /// Replace the value at `pos`. Panics if out of range (caller validated
+    /// the position against the schema).
+    pub fn set(&mut self, pos: usize, value: Value) {
+        self.values[pos] = value;
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+/// Macro building a row from heterogeneous literals: `row![Value::Id(1), "x", 3i64]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::row::Row::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_accessors() {
+        let mut r = Row::new(vec![Value::Id(1), Value::Text("a".into())]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0), Some(&Value::Id(1)));
+        assert_eq!(r.get(5), None);
+        r.set(1, Value::Text("b".into()));
+        assert_eq!(r.get(1).unwrap().as_text(), Some("b"));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn row_macro_converts_literals() {
+        let r = row![1u64, "hello", true, 42i64];
+        assert_eq!(
+            r.values(),
+            &[
+                Value::Id(1),
+                Value::Text("hello".into()),
+                Value::Bool(true),
+                Value::Int(42)
+            ]
+        );
+    }
+
+    #[test]
+    fn rowid_display() {
+        assert_eq!(RowId(9).to_string(), "r9");
+    }
+}

@@ -1,0 +1,393 @@
+//! Multi-versioned heap tables.
+//!
+//! Each row id owns a *version chain*: an append-only, commit-timestamp
+//! ordered list of `Put`/`Delete` versions. A snapshot at timestamp `ts`
+//! sees, for each row, the newest version with `commit_ts <= ts`; if that
+//! version is a `Delete` (or no version qualifies) the row is invisible.
+//! This is classic snapshot isolation — readers never block writers and
+//! vice versa, which is what lets TeNDaX editors read documents while
+//! others type into them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::index::{IndexKey, IndexStore};
+use crate::row::{Row, RowId};
+use crate::schema::{TableDef, TableId};
+
+/// Commit timestamp. `0` is reserved: no committed data carries it.
+pub type Ts = u64;
+
+/// Visibility horizon that sees everything ever committed.
+pub const TS_LATEST: Ts = u64::MAX;
+
+/// One committed version of a row.
+#[derive(Debug, Clone)]
+pub struct Version {
+    pub commit_ts: Ts,
+    pub op: VersionOp,
+}
+
+/// What a version did to the row.
+#[derive(Debug, Clone)]
+pub enum VersionOp {
+    Put(Row),
+    Delete,
+}
+
+/// A table: schema, version chains, secondary indexes, row id allocator.
+#[derive(Debug)]
+pub struct TableStore {
+    id: TableId,
+    def: TableDef,
+    chains: BTreeMap<RowId, Vec<Version>>,
+    indexes: Vec<IndexStore>,
+    next_row_id: AtomicU64,
+}
+
+impl TableStore {
+    pub fn new(id: TableId, def: TableDef) -> Self {
+        let indexes = def.indexes.iter().cloned().map(IndexStore::new).collect();
+        TableStore {
+            id,
+            def,
+            chains: BTreeMap::new(),
+            indexes,
+            next_row_id: AtomicU64::new(1),
+        }
+    }
+
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    pub fn definition(&self) -> &TableDef {
+        &self.def
+    }
+
+    /// Allocate a fresh row id. Safe under a shared (read) lock.
+    pub fn allocate_row_id(&self) -> RowId {
+        RowId(self.next_row_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The next row id this table would hand out (checkpoint watermark).
+    pub fn row_id_watermark(&self) -> u64 {
+        self.next_row_id.load(Ordering::Relaxed)
+    }
+
+    /// Bump the allocator so it never hands out ids ≤ `seen` (recovery).
+    pub fn observe_row_id(&self, seen: RowId) {
+        let mut cur = self.next_row_id.load(Ordering::Relaxed);
+        while cur <= seen.0 {
+            match self.next_row_id.compare_exchange(
+                cur,
+                seen.0 + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The row version visible at snapshot `ts`, if any.
+    pub fn visible(&self, row: RowId, ts: Ts) -> Option<&Row> {
+        let chain = self.chains.get(&row)?;
+        match newest_at(chain, ts)? {
+            VersionOp::Put(r) => Some(r),
+            VersionOp::Delete => None,
+        }
+    }
+
+    /// Commit timestamp of the newest version of `row`, if the row has any.
+    pub fn newest_commit_ts(&self, row: RowId) -> Option<Ts> {
+        self.chains.get(&row)?.last().map(|v| v.commit_ts)
+    }
+
+    /// Append a committed version and maintain indexes.
+    ///
+    /// Callers guarantee `ts` is greater than every timestamp already in the
+    /// chain (commit order is serialized by the transaction manager).
+    pub fn apply(&mut self, row: RowId, ts: Ts, op: VersionOp) {
+        debug_assert!(
+            self.chains
+                .get(&row)
+                .and_then(|c| c.last())
+                .is_none_or(|v| v.commit_ts < ts),
+            "version timestamps must be monotonically increasing per row"
+        );
+        if let VersionOp::Put(r) = &op {
+            for idx in &mut self.indexes {
+                let key = idx.key_of(r);
+                idx.insert(key, row);
+            }
+        }
+        self.chains
+            .entry(row)
+            .or_default()
+            .push(Version { commit_ts: ts, op });
+        self.observe_row_id(row);
+    }
+
+    /// Iterate all rows visible at `ts`.
+    pub fn scan_visible(&self, ts: Ts) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.chains.iter().filter_map(move |(id, chain)| {
+            match newest_at(chain, ts)? {
+                VersionOp::Put(r) => Some((*id, r)),
+                VersionOp::Delete => None,
+            }
+        })
+    }
+
+    /// Iterate every version of every row (used by checkpointing).
+    pub fn iter_versions(&self) -> impl Iterator<Item = (RowId, &Version)> + '_ {
+        self.chains
+            .iter()
+            .flat_map(|(id, chain)| chain.iter().map(move |v| (*id, v)))
+    }
+
+    /// The index at position `pos` (schema order).
+    pub fn index(&self, pos: usize) -> Option<&IndexStore> {
+        self.indexes.get(pos)
+    }
+
+    /// Find an index by name.
+    pub fn index_by_name(&self, name: &str) -> Option<(usize, &IndexStore)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .find(|(_, i)| i.definition().name == name)
+    }
+
+    pub fn indexes(&self) -> &[IndexStore] {
+        &self.indexes
+    }
+
+    /// Would committing `key` into unique index `pos` at `TS_LATEST`
+    /// conflict with a row other than the excluded ones?
+    pub fn unique_conflict(
+        &self,
+        pos: usize,
+        key: &IndexKey,
+        excluded: &dyn Fn(RowId) -> bool,
+    ) -> bool {
+        let idx = &self.indexes[pos];
+        idx.lookup(key).any(|rid| {
+            if excluded(rid) {
+                return false;
+            }
+            match self.visible(rid, TS_LATEST) {
+                Some(row) => &idx.key_of(row) == key,
+                None => false,
+            }
+        })
+    }
+
+    /// Number of rows visible at `ts`.
+    pub fn count_visible(&self, ts: Ts) -> usize {
+        self.scan_visible(ts).count()
+    }
+
+    /// Total number of stored versions (live + superseded).
+    pub fn version_count(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// Prune versions no snapshot at or after `horizon` can see, then
+    /// rebuild indexes from the surviving versions.
+    ///
+    /// A version is prunable if a newer version exists with
+    /// `commit_ts <= horizon` (it is superseded for every live snapshot).
+    /// A chain whose sole survivor is a `Delete` older than the horizon is
+    /// removed entirely.
+    pub fn vacuum(&mut self, horizon: Ts) -> usize {
+        let mut pruned = 0;
+        self.chains.retain(|_, chain| {
+            // Index of the newest version visible at the horizon.
+            // Everything newer than the horizon (None) keeps all: 0.
+            let keep_from = chain
+                .iter()
+                .rposition(|v| v.commit_ts <= horizon)
+                .unwrap_or_default();
+            if keep_from > 0 {
+                pruned += keep_from;
+                chain.drain(..keep_from);
+            }
+            let sole_dead = chain.len() == 1
+                && chain[0].commit_ts <= horizon
+                && matches!(chain[0].op, VersionOp::Delete);
+            if sole_dead {
+                pruned += 1;
+            }
+            !sole_dead
+        });
+        if pruned > 0 {
+            self.rebuild_indexes();
+        }
+        pruned
+    }
+
+    fn rebuild_indexes(&mut self) {
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+        for (rid, chain) in &self.chains {
+            for v in chain {
+                if let VersionOp::Put(row) = &v.op {
+                    for idx in &mut self.indexes {
+                        let key = idx.key_of(row);
+                        idx.insert(key, *rid);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Newest version in `chain` with `commit_ts <= ts`.
+fn newest_at(chain: &[Version], ts: Ts) -> Option<&VersionOp> {
+    chain
+        .iter()
+        .rev()
+        .find(|v| v.commit_ts <= ts)
+        .map(|v| &v.op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn table() -> TableStore {
+        let def = TableDef::new("t")
+            .column("k", DataType::Id)
+            .column("v", DataType::Text)
+            .index("by_k", &["k"])
+            .unique_index("by_v", &["v"]);
+        TableStore::new(TableId(0), def)
+    }
+
+    fn put(k: u64, v: &str) -> VersionOp {
+        VersionOp::Put(Row::new(vec![Value::Id(k), Value::Text(v.into())]))
+    }
+
+    #[test]
+    fn visibility_follows_snapshots() {
+        let mut t = table();
+        let r = t.allocate_row_id();
+        t.apply(r, 5, put(1, "a"));
+        t.apply(r, 9, put(1, "b"));
+        assert!(t.visible(r, 4).is_none());
+        assert_eq!(t.visible(r, 5).unwrap().get(1).unwrap().as_text(), Some("a"));
+        assert_eq!(t.visible(r, 8).unwrap().get(1).unwrap().as_text(), Some("a"));
+        assert_eq!(t.visible(r, 9).unwrap().get(1).unwrap().as_text(), Some("b"));
+        t.apply(r, 12, VersionOp::Delete);
+        assert!(t.visible(r, 12).is_none());
+        assert!(t.visible(r, 11).is_some());
+        assert_eq!(t.newest_commit_ts(r), Some(12));
+    }
+
+    #[test]
+    fn scan_visible_filters_deleted() {
+        let mut t = table();
+        let a = t.allocate_row_id();
+        let b = t.allocate_row_id();
+        t.apply(a, 1, put(1, "a"));
+        t.apply(b, 2, put(2, "b"));
+        t.apply(a, 3, VersionOp::Delete);
+        assert_eq!(t.count_visible(2), 2);
+        assert_eq!(t.count_visible(3), 1);
+        let alive: Vec<RowId> = t.scan_visible(3).map(|(id, _)| id).collect();
+        assert_eq!(alive, vec![b]);
+    }
+
+    #[test]
+    fn row_id_allocation_is_monotonic_and_recovers() {
+        let t = table();
+        let a = t.allocate_row_id();
+        let b = t.allocate_row_id();
+        assert!(b > a);
+        t.observe_row_id(RowId(100));
+        assert!(t.allocate_row_id() > RowId(100));
+        // Observing an old id does not move the allocator backwards.
+        t.observe_row_id(RowId(3));
+        assert!(t.allocate_row_id() > RowId(100));
+    }
+
+    #[test]
+    fn index_entries_cover_all_versions() {
+        let mut t = table();
+        let r = t.allocate_row_id();
+        t.apply(r, 1, put(1, "a"));
+        t.apply(r, 2, put(2, "a2"));
+        let (pos, idx) = t.index_by_name("by_k").unwrap();
+        assert_eq!(pos, 0);
+        // Both the old and new key point at the row (superset semantics).
+        assert_eq!(idx.lookup(&vec![Value::Id(1)]).count(), 1);
+        assert_eq!(idx.lookup(&vec![Value::Id(2)]).count(), 1);
+    }
+
+    #[test]
+    fn unique_conflict_sees_only_latest_state() {
+        let mut t = table();
+        let a = t.allocate_row_id();
+        t.apply(a, 1, put(1, "taken"));
+        let key = vec![Value::Text("taken".into())];
+        let (upos, _) = t.index_by_name("by_v").unwrap();
+        assert!(t.unique_conflict(upos, &key, &|_| false));
+        // Excluding the row that holds the key clears the conflict.
+        assert!(!t.unique_conflict(upos, &key, &|r| r == a));
+        // After the row is updated away from the key, no conflict remains.
+        t.apply(a, 2, put(1, "other"));
+        assert!(!t.unique_conflict(upos, &key, &|_| false));
+        // Deleted rows do not hold keys.
+        t.apply(a, 3, VersionOp::Delete);
+        assert!(!t.unique_conflict(
+            upos,
+            &vec![Value::Text("other".into())],
+            &|_| false
+        ));
+    }
+
+    #[test]
+    fn vacuum_prunes_superseded_versions() {
+        let mut t = table();
+        let r = t.allocate_row_id();
+        t.apply(r, 1, put(1, "a"));
+        t.apply(r, 2, put(1, "b"));
+        t.apply(r, 3, put(1, "c"));
+        assert_eq!(t.version_count(), 3);
+        let pruned = t.vacuum(2);
+        assert_eq!(pruned, 1); // version @1 superseded by @2 <= horizon
+        assert_eq!(t.version_count(), 2);
+        // Visibility at/after the horizon is unchanged.
+        assert_eq!(t.visible(r, 2).unwrap().get(1).unwrap().as_text(), Some("b"));
+        assert_eq!(t.visible(r, 3).unwrap().get(1).unwrap().as_text(), Some("c"));
+    }
+
+    #[test]
+    fn vacuum_removes_dead_rows_and_rebuilds_indexes() {
+        let mut t = table();
+        let r = t.allocate_row_id();
+        t.apply(r, 1, put(1, "a"));
+        t.apply(r, 2, VersionOp::Delete);
+        let pruned = t.vacuum(10);
+        assert_eq!(pruned, 2);
+        assert_eq!(t.version_count(), 0);
+        let (_, idx) = t.index_by_name("by_k").unwrap();
+        assert_eq!(idx.entry_count(), 0);
+    }
+
+    #[test]
+    fn vacuum_keeps_versions_newer_than_horizon() {
+        let mut t = table();
+        let r = t.allocate_row_id();
+        t.apply(r, 5, put(1, "a"));
+        t.apply(r, 9, put(1, "b"));
+        assert_eq!(t.vacuum(3), 0);
+        assert_eq!(t.version_count(), 2);
+        // A snapshot between the two versions still reads the old one.
+        assert_eq!(t.visible(r, 7).unwrap().get(1).unwrap().as_text(), Some("a"));
+    }
+}

@@ -1,0 +1,572 @@
+//! Transactions: snapshot-isolated reads, buffered writes, optimistic
+//! commit.
+//!
+//! A transaction takes its snapshot timestamp at `begin`, reads the world
+//! as of that timestamp (plus its own uncommitted writes), and buffers all
+//! writes locally. At commit, the engine validates that no other
+//! transaction committed a newer version of any written row (first
+//! committer wins), checks unique constraints against the then-current
+//! state, appends one WAL record, and publishes all versions atomically
+//! under the global commit lock. This is exactly the guarantee the TeNDaX
+//! papers lean on: each keystroke batch is an ACID transaction, and
+//! concurrent editors conflict only when they touch the same rows.
+
+use std::collections::{BTreeMap, HashSet};
+use std::ops::Bound;
+
+use serde::{Deserialize, Serialize};
+
+use crate::db::Database;
+use crate::error::{Result, StorageError};
+use crate::index::IndexKey;
+use crate::query::{plan_access, AccessPath, Predicate};
+use crate::row::{Row, RowId};
+use crate::schema::TableId;
+use crate::table::{TableStore, Ts};
+use crate::value::Value;
+
+/// Transaction identifier (unique per database instance lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+/// A buffered, not-yet-committed write.
+#[derive(Debug, Clone)]
+pub(crate) enum WriteOp {
+    Put(Row),
+    Delete,
+}
+
+/// A captured write-set state; see [`Transaction::savepoint`].
+#[derive(Debug, Clone)]
+pub struct Savepoint {
+    writes: BTreeMap<TableId, BTreeMap<RowId, WriteOp>>,
+    created: HashSet<(TableId, RowId)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// An open transaction. Dropping an active transaction aborts it.
+#[derive(Debug)]
+pub struct Transaction {
+    db: Database,
+    id: TxnId,
+    snapshot: Ts,
+    pub(crate) writes: BTreeMap<TableId, BTreeMap<RowId, WriteOp>>,
+    /// Rows this transaction itself inserted (they cannot conflict).
+    pub(crate) created: HashSet<(TableId, RowId)>,
+    state: TxnState,
+}
+
+impl Transaction {
+    pub(crate) fn new(db: Database, id: TxnId, snapshot: Ts) -> Self {
+        Transaction {
+            db,
+            id,
+            snapshot,
+            writes: BTreeMap::new(),
+            created: HashSet::new(),
+            state: TxnState::Active,
+        }
+    }
+
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The commit timestamp this transaction reads as of.
+    pub fn snapshot_ts(&self) -> Ts {
+        self.snapshot
+    }
+
+    /// Number of buffered writes.
+    pub fn write_count(&self) -> usize {
+        self.writes.values().map(BTreeMap::len).sum()
+    }
+
+    fn check_active(&self) -> Result<()> {
+        if self.state == TxnState::Active {
+            Ok(())
+        } else {
+            Err(StorageError::TxnClosed(self.id))
+        }
+    }
+
+    fn own_write(&self, table: TableId, row: RowId) -> Option<&WriteOp> {
+        self.writes.get(&table).and_then(|m| m.get(&row))
+    }
+
+    pub(crate) fn db_handle(&self) -> &Database {
+        &self.db
+    }
+
+    // ---------------------------------------------------------------- reads
+
+    /// Read a row by id, seeing this transaction's own writes.
+    pub fn get(&self, table: TableId, row: RowId) -> Result<Option<Row>> {
+        self.check_active()?;
+        match self.own_write(table, row) {
+            Some(WriteOp::Put(r)) => return Ok(Some(r.clone())),
+            Some(WriteOp::Delete) => return Ok(None),
+            None => {}
+        }
+        self.db
+            .with_table(table, |t| Ok(t.visible(row, self.snapshot).cloned()))?
+    }
+
+    /// All rows matching `pred`, via the planned access path, with this
+    /// transaction's own writes overlaid. Results are in row-id order.
+    pub fn scan(&self, table: TableId, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        self.check_active()?;
+        let mut matched: BTreeMap<RowId, Row> = self.db.with_table(table, |t| {
+            let mut out = BTreeMap::new();
+            match plan_access(t.definition(), pred) {
+                AccessPath::FullScan => {
+                    for (rid, row) in t.scan_visible(self.snapshot) {
+                        if pred.eval(t.definition(), row)? {
+                            out.insert(rid, row.clone());
+                        }
+                    }
+                }
+                AccessPath::IndexPrefix { index_pos, prefix } => {
+                    let idx = t
+                        .index(index_pos)
+                        .ok_or_else(|| StorageError::Internal("planner chose missing index".into()))?;
+                    let mut seen = HashSet::new();
+                    for (_, rid) in idx.prefix(&prefix) {
+                        if !seen.insert(rid) {
+                            continue;
+                        }
+                        if let Some(row) = t.visible(rid, self.snapshot) {
+                            if pred.eval(t.definition(), row)? {
+                                out.insert(rid, row.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            Ok::<_, StorageError>(out)
+        })??;
+        // Overlay own writes.
+        if let Some(ws) = self.writes.get(&table) {
+            let def = self.db.table_def(table)?;
+            for (rid, op) in ws {
+                match op {
+                    WriteOp::Put(r) => {
+                        if pred.eval(&def, r)? {
+                            matched.insert(*rid, r.clone());
+                        } else {
+                            matched.remove(rid);
+                        }
+                    }
+                    WriteOp::Delete => {
+                        matched.remove(rid);
+                    }
+                }
+            }
+        }
+        Ok(matched.into_iter().collect())
+    }
+
+    /// Count rows matching `pred`.
+    pub fn count(&self, table: TableId, pred: &Predicate) -> Result<usize> {
+        Ok(self.scan(table, pred)?.len())
+    }
+
+    /// Point lookup through a named index (overlay-aware).
+    pub fn index_lookup(
+        &self,
+        table: TableId,
+        index: &str,
+        key: &[Value],
+    ) -> Result<Vec<(RowId, Row)>> {
+        let key_vec: IndexKey = key.to_vec();
+        self.index_range(
+            table,
+            index,
+            Bound::Included(&key_vec),
+            Bound::Included(&key_vec),
+        )
+    }
+
+    /// Ordered range scan through a named index (overlay-aware). Results
+    /// are ordered by (index key, row id).
+    pub fn index_range(
+        &self,
+        table: TableId,
+        index: &str,
+        lo: Bound<&IndexKey>,
+        hi: Bound<&IndexKey>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        self.check_active()?;
+        let mut matched: BTreeMap<(IndexKey, RowId), Row> = self.db.with_table(table, |t| {
+            let (_, idx) = t.index_by_name(index).ok_or_else(|| StorageError::UnknownIndex {
+                table: t.definition().name.clone(),
+                index: index.to_owned(),
+            })?;
+            let mut out = BTreeMap::new();
+            for (key, rid) in idx.range(lo, hi) {
+                if out.contains_key(&(key.clone(), rid)) {
+                    continue;
+                }
+                if let Some(row) = t.visible(rid, self.snapshot) {
+                    // Re-verify: the index is a superset over versions.
+                    if &idx.key_of(row) == key {
+                        out.insert((key.clone(), rid), row.clone());
+                    }
+                }
+            }
+            Ok::<_, StorageError>(out)
+        })??;
+        // Overlay own writes: recompute their keys and membership.
+        if let Some(ws) = self.writes.get(&table) {
+            let key_bounds = (lo, hi);
+            let keys_of_own: Vec<(RowId, Option<(IndexKey, Row)>)> = self.db.with_table(table, |t| {
+                let (_, idx) = t
+                    .index_by_name(index)
+                    .ok_or_else(|| StorageError::UnknownIndex {
+                        table: t.definition().name.clone(),
+                        index: index.to_owned(),
+                    })?;
+                Ok::<_, StorageError>(
+                    ws.iter()
+                        .map(|(rid, op)| match op {
+                            WriteOp::Put(r) => (*rid, Some((idx.key_of(r), r.clone()))),
+                            WriteOp::Delete => (*rid, None),
+                        })
+                        .collect(),
+                )
+            })??;
+            for (rid, put) in keys_of_own {
+                // Remove any committed-version entry for this row: the own
+                // write supersedes it.
+                matched.retain(|(_, r), _| *r != rid);
+                if let Some((key, row)) = put {
+                    let in_range = range_contains(&key_bounds, &key);
+                    if in_range {
+                        matched.insert((key, rid), row);
+                    }
+                }
+            }
+        }
+        Ok(matched.into_iter().map(|((_, rid), row)| (rid, row)).collect())
+    }
+
+    /// The greatest index entry under `prefix` strictly below `before`
+    /// (descending cursor). Returns `(key, row_id, row)` — overlay-aware.
+    ///
+    /// Repeated calls with `before = Some(&previous_key)` walk an index
+    /// newest-first without materializing the whole range; with a
+    /// `(doc, ts)`-style index this is how "most recent matching X"
+    /// queries stay logarithmic.
+    pub fn index_prev(
+        &self,
+        table: TableId,
+        index: &str,
+        prefix: &[Value],
+        before: Option<&IndexKey>,
+    ) -> Result<Option<(IndexKey, RowId, Row)>> {
+        self.check_active()?;
+        let lo: IndexKey = prefix.to_vec();
+        // Exclusive upper bound of the whole prefix range (when the last
+        // prefix value has a computable successor).
+        let prefix_hi: Option<IndexKey> = match prefix.last() {
+            None => None, // empty prefix: whole index, Unbounded is exact
+            Some(last) => value_successor(last).map(|succ| {
+                let mut k = prefix.to_vec();
+                *k.last_mut().expect("non-empty") = succ;
+                k
+            }),
+        };
+        // Committed candidate: newest visible entry, skipping rows this
+        // transaction has overwritten (their committed key is stale).
+        let committed: Option<(IndexKey, RowId, Row)> = self.db.with_table(table, |t| {
+            let (_, idx) = t.index_by_name(index).ok_or_else(|| StorageError::UnknownIndex {
+                table: t.definition().name.clone(),
+                index: index.to_owned(),
+            })?;
+            let hi = match (before, &prefix_hi) {
+                (Some(b), _) => Bound::Excluded(b),
+                (None, Some(h)) => Bound::Excluded(h),
+                (None, None) => Bound::Unbounded,
+            };
+            for (key, rid) in idx.range_rev(Bound::Included(&lo), hi) {
+                if !key.starts_with(prefix) {
+                    // Only reachable when no tight upper bound existed:
+                    // above the prefix range keep walking down, below it
+                    // stop.
+                    if key.as_slice() > prefix {
+                        continue;
+                    }
+                    break;
+                }
+                if self.own_write(table, rid).is_some() {
+                    continue;
+                }
+                if let Some(row) = t.visible(rid, self.snapshot) {
+                    if &idx.key_of(row) == key {
+                        return Ok::<_, StorageError>(Some((key.clone(), rid, row.clone())));
+                    }
+                }
+            }
+            Ok(None)
+        })??;
+        // Own-write candidate with the greatest qualifying key.
+        let own: Option<(IndexKey, RowId, Row)> = match self.writes.get(&table) {
+            None => None,
+            Some(ws) => self.db.with_table(table, |t| {
+                let (_, idx) = t
+                    .index_by_name(index)
+                    .ok_or_else(|| StorageError::UnknownIndex {
+                        table: t.definition().name.clone(),
+                        index: index.to_owned(),
+                    })?;
+                let mut best: Option<(IndexKey, RowId, Row)> = None;
+                for (&rid, op) in ws {
+                    let WriteOp::Put(row) = op else { continue };
+                    let key = idx.key_of(row);
+                    if !key.starts_with(prefix) {
+                        continue;
+                    }
+                    if let Some(b) = before {
+                        if &key >= b {
+                            continue;
+                        }
+                    }
+                    if best.as_ref().is_none_or(|(bk, _, _)| key > *bk) {
+                        best = Some((key, rid, row.clone()));
+                    }
+                }
+                Ok::<_, StorageError>(best)
+            })??,
+        };
+        Ok(match (committed, own) {
+            (Some(c), Some(o)) => Some(if o.0 >= c.0 { o } else { c }),
+            (c, o) => c.or(o),
+        })
+    }
+
+    // --------------------------------------------------------------- writes
+
+    /// Insert a new row, returning its id.
+    pub fn insert(&mut self, table: TableId, row: Row) -> Result<RowId> {
+        self.check_active()?;
+        let rid = self.db.with_table(table, |t| {
+            t.definition().validate_row(row.values())?;
+            Ok::<_, StorageError>(t.allocate_row_id())
+        })??;
+        self.writes
+            .entry(table)
+            .or_default()
+            .insert(rid, WriteOp::Put(row));
+        self.created.insert((table, rid));
+        Ok(rid)
+    }
+
+    /// Replace an existing (visible) row wholesale.
+    pub fn update(&mut self, table: TableId, row: RowId, new_row: Row) -> Result<()> {
+        self.check_active()?;
+        if self.get(table, row)?.is_none() {
+            return Err(self.not_found(table));
+        }
+        self.db
+            .with_table(table, |t| t.definition().validate_row(new_row.values()))??;
+        self.writes
+            .entry(table)
+            .or_default()
+            .insert(row, WriteOp::Put(new_row));
+        Ok(())
+    }
+
+    /// Update named columns of an existing row, leaving others unchanged.
+    pub fn set(&mut self, table: TableId, row: RowId, updates: &[(&str, Value)]) -> Result<()> {
+        self.check_active()?;
+        let mut current = self.get(table, row)?.ok_or_else(|| self.not_found(table))?;
+        let def = self.db.table_def(table)?;
+        for (col, val) in updates {
+            let pos = def.require_column(col)?;
+            current.set(pos, val.clone());
+        }
+        self.update(table, row, current)
+    }
+
+    /// Delete a visible row.
+    pub fn delete(&mut self, table: TableId, row: RowId) -> Result<()> {
+        self.check_active()?;
+        if self.get(table, row)?.is_none() {
+            return Err(self.not_found(table));
+        }
+        if self.created.remove(&(table, row)) {
+            // Inserted by this very transaction: the write simply vanishes.
+            if let Some(ws) = self.writes.get_mut(&table) {
+                ws.remove(&row);
+            }
+            return Ok(());
+        }
+        self.writes
+            .entry(table)
+            .or_default()
+            .insert(row, WriteOp::Delete);
+        Ok(())
+    }
+
+    fn not_found(&self, table: TableId) -> StorageError {
+        let name = self
+            .db
+            .table_def(table)
+            .map(|d| d.name)
+            .unwrap_or_else(|_| format!("{table:?}"));
+        StorageError::RowNotFound { table: name }
+    }
+
+    // ----------------------------------------------------------- savepoints
+
+    /// Capture the current write set as a savepoint. Rolling back to it
+    /// discards every write issued after this call (row ids allocated in
+    /// between are burned, never reused — ids are not transactional).
+    pub fn savepoint(&self) -> Savepoint {
+        Savepoint {
+            writes: self.writes.clone(),
+            created: self.created.clone(),
+        }
+    }
+
+    /// Restore the write set captured by [`Transaction::savepoint`].
+    pub fn rollback_to(&mut self, sp: &Savepoint) -> Result<()> {
+        self.check_active()?;
+        self.writes = sp.writes.clone();
+        self.created = sp.created.clone();
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- termination
+
+    /// Commit. Returns the commit timestamp (the snapshot timestamp if the
+    /// transaction wrote nothing).
+    pub fn commit(mut self) -> Result<Ts> {
+        self.check_active()?;
+        let result = self.db.clone().commit_txn(&mut self);
+        match &result {
+            Ok(_) => self.state = TxnState::Committed,
+            Err(_) => {
+                self.state = TxnState::Aborted;
+                self.db.clone().abort_txn(self.id, true); // failed commit is an abort
+            }
+        }
+        result
+    }
+
+    /// Abort, discarding all buffered writes.
+    pub fn abort(mut self) {
+        if self.state == TxnState::Active {
+            self.state = TxnState::Aborted;
+            let had_writes = self.write_count() > 0;
+            self.db.clone().abort_txn(self.id, had_writes);
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if self.state == TxnState::Active {
+            self.state = TxnState::Aborted;
+            // Dropping a read-only transaction is a quiet close, not an
+            // abort; only discarded writes count toward the abort stat.
+            let had_writes = self.writes.values().any(|m| !m.is_empty());
+            self.db.clone().abort_txn(self.id, had_writes);
+        }
+    }
+}
+
+/// The smallest value strictly greater than `v` of the same type, when
+/// one exists cheaply. Used to build exclusive upper bounds for index
+/// prefix ranges.
+fn value_successor(v: &Value) -> Option<Value> {
+    Some(match v {
+        Value::Int(x) => Value::Int(x.checked_add(1)?),
+        Value::Id(x) => Value::Id(x.checked_add(1)?),
+        Value::Timestamp(x) => Value::Timestamp(x.checked_add(1)?),
+        Value::Bool(false) => Value::Bool(true),
+        // Appending NUL yields the immediate lexicographic successor.
+        Value::Text(s) => Value::Text(format!("{s}\0")),
+        _ => return None,
+    })
+}
+
+fn range_contains(bounds: &(Bound<&IndexKey>, Bound<&IndexKey>), key: &IndexKey) -> bool {
+    let lo_ok = match bounds.0 {
+        Bound::Unbounded => true,
+        Bound::Included(b) => key >= b,
+        Bound::Excluded(b) => key > b,
+    };
+    let hi_ok = match bounds.1 {
+        Bound::Unbounded => true,
+        Bound::Included(b) => key <= b,
+        Bound::Excluded(b) => key < b,
+    };
+    lo_ok && hi_ok
+}
+
+/// Validation + publication, called by [`Database::commit_txn`] with the
+/// table write locks held. Split out for testability.
+pub(crate) fn validate_writes(
+    txn_writes: &BTreeMap<TableId, BTreeMap<RowId, WriteOp>>,
+    created: &HashSet<(TableId, RowId)>,
+    snapshot: Ts,
+    txn: TxnId,
+    tables: &BTreeMap<TableId, &mut TableStore>,
+) -> Result<()> {
+    for (&tid, writes) in txn_writes {
+        let store = tables
+            .get(&tid)
+            .ok_or(StorageError::UnknownTableId(tid))?;
+        // Write-write conflicts: someone committed past our snapshot.
+        for &rid in writes.keys() {
+            if created.contains(&(tid, rid)) {
+                continue;
+            }
+            if let Some(newest) = store.newest_commit_ts(rid) {
+                if newest > snapshot {
+                    return Err(StorageError::WriteConflict {
+                        table: store.definition().name.clone(),
+                        txn,
+                    });
+                }
+            }
+        }
+        // Unique constraints, against latest committed state + this batch.
+        for (ipos, idx) in store.indexes().iter().enumerate() {
+            if !idx.definition().unique {
+                continue;
+            }
+            let mut pending: BTreeMap<IndexKey, RowId> = BTreeMap::new();
+            for (&rid, op) in writes {
+                if let WriteOp::Put(row) = op {
+                    let key = idx.key_of(row);
+                    if let Some(prev) = pending.insert(key.clone(), rid) {
+                        if prev != rid {
+                            return Err(StorageError::UniqueViolation {
+                                table: store.definition().name.clone(),
+                                index: idx.definition().name.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            let written: HashSet<RowId> = writes.keys().copied().collect();
+            for key in pending.keys() {
+                if store.unique_conflict(ipos, key, &|rid| written.contains(&rid)) {
+                    return Err(StorageError::UniqueViolation {
+                        table: store.definition().name.clone(),
+                        index: idx.definition().name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}

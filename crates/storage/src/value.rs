@@ -1,0 +1,338 @@
+//! Typed values and data types stored in engine rows.
+//!
+//! The engine is schema-first: every column declares a [`DataType`] and the
+//! engine rejects ill-typed writes at statement time, mirroring how the
+//! TeNDaX prototype relied on its host DBMS's type system.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit unsigned identifier (row ids, character ids, user ids, …).
+    Id,
+    /// UTF-8 string.
+    Text,
+    /// Boolean flag.
+    Bool,
+    /// Opaque byte blob (embedded objects: pictures, serialized tables, …).
+    Bytes,
+    /// Microseconds since the epoch of the engine clock.
+    Timestamp,
+    /// 64-bit float (mining feature values, rank scores).
+    Float,
+}
+
+/// A single typed value.
+///
+/// `Null` is a value of every type; columns declared `NOT NULL` reject it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Id(u64),
+    Text(String),
+    Bool(bool),
+    Bytes(Vec<u8>),
+    Timestamp(i64),
+    Float(f64),
+}
+
+impl Value {
+    /// The dynamic type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Id(_) => Some(DataType::Id),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Bytes(_) => Some(DataType::Bytes),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+            Value::Float(_) => Some(DataType::Float),
+        }
+    }
+
+    /// Whether this value may be stored in a column of `ty`.
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match self.data_type() {
+            None => true, // Null conforms; NOT NULL is checked separately.
+            Some(actual) => actual == ty,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an `i64`, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a `u64`, if this is an `Id`.
+    pub fn as_id(&self) -> Option<u64> {
+        match self {
+            Value::Id(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a `&str`, if this is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_timestamp(&self) -> Option<i64> {
+        match self {
+            Value::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Total order used by indexes and range scans.
+    ///
+    /// `Null` sorts before everything; values of different types sort by a
+    /// fixed type rank so that heterogeneous comparisons are total rather
+    /// than panicking. Floats use IEEE total ordering.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Id(_) => 3,
+                Value::Timestamp(_) => 4,
+                Value::Float(_) => 5,
+                Value::Text(_) => 6,
+                Value::Bytes(_) => 7,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Id(a), Value::Id(b)) => a.cmp(b),
+            (Value::Timestamp(a), Value::Timestamp(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Bytes(a), Value::Bytes(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Value::Int(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Value::Id(v) => {
+                3u8.hash(state);
+                v.hash(state);
+            }
+            Value::Timestamp(v) => {
+                4u8.hash(state);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                5u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Text(v) => {
+                6u8.hash(state);
+                v.hash(state);
+            }
+            Value::Bytes(v) => {
+                7u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Id(v) => write!(f, "#{v}"),
+            Value::Text(v) => write!(f, "{v:?}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Bytes(v) => write!(f, "<{} bytes>", v.len()),
+            Value::Timestamp(v) => write!(f, "@{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Id(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance() {
+        assert!(Value::Int(3).conforms_to(DataType::Int));
+        assert!(!Value::Int(3).conforms_to(DataType::Text));
+        assert!(Value::Null.conforms_to(DataType::Text));
+        assert!(Value::Null.conforms_to(DataType::Bytes));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(-7).as_int(), Some(-7));
+        assert_eq!(Value::Id(9).as_id(), Some(9));
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Timestamp(5).as_timestamp(), Some(5));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Int(1).as_text(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn ordering_within_type() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Text("a".into()) < Value::Text("b".into()));
+        assert!(Value::Timestamp(10) < Value::Timestamp(11));
+        assert!(Value::Float(f64::NEG_INFINITY) < Value::Float(0.0));
+    }
+
+    #[test]
+    fn null_sorts_first_and_cross_type_is_total() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Int(i64::MIN));
+        assert!(Value::Int(i64::MAX) < Value::Id(0));
+        // Antisymmetry spot-check.
+        let a = Value::Text("x".into());
+        let b = Value::Id(1);
+        assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+    }
+
+    #[test]
+    fn float_nan_is_ordered() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3u64), Value::Id(3));
+        assert_eq!(Value::from("s"), Value::Text("s".into()));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Id(4).to_string(), "#4");
+        assert_eq!(Value::Bytes(vec![1, 2]).to_string(), "<2 bytes>");
+    }
+}

@@ -1,0 +1,72 @@
+//! Write-ahead logging and durability.
+//!
+//! Every committed transaction appends one [`WalRecord::Commit`] before its
+//! effects become visible; on reopen the log is replayed in order. Records
+//! are length-prefixed, CRC-32-checked binary (see [`codec`]); a torn tail
+//! (partial final record after a crash) is detected and discarded rather
+//! than treated as corruption.
+
+pub mod codec;
+mod log;
+
+pub use log::{WalFile, WalIter};
+
+use crate::row::RowId;
+use crate::schema::{TableDef, TableId};
+use crate::table::Ts;
+use crate::value::Value;
+
+/// How hard the engine pushes commits toward the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityLevel {
+    /// No WAL at all (in-memory database).
+    None,
+    /// Write to the OS (survives process crash, not power loss).
+    Buffered,
+    /// `fsync` every commit (survives power loss).
+    Fsync,
+}
+
+/// One write inside a committed transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalWrite {
+    pub table: TableId,
+    pub row: RowId,
+    pub op: WalOp,
+}
+
+/// The operation a write performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    Put(Vec<Value>),
+    Delete,
+}
+
+/// A log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Engine metadata written at checkpoint time: the next commit
+    /// timestamp to hand out and the highest clock value observed.
+    Meta { next_ts: Ts, clock: i64 },
+    /// DDL: a table (re-)created with a fixed id.
+    CreateTable { id: TableId, def: TableDef },
+    /// DDL: a table dropped.
+    DropTable { id: TableId },
+    /// A committed transaction and all of its writes.
+    Commit {
+        txn: u64,
+        commit_ts: Ts,
+        writes: Vec<WalWrite>,
+    },
+    /// One row version emitted by a checkpoint (compacted history),
+    /// carrying its original commit timestamp.
+    SnapshotRow {
+        table: TableId,
+        row: RowId,
+        commit_ts: Ts,
+        op: WalOp,
+    },
+    /// Row-id allocator watermark for a table, written at checkpoint time
+    /// so compacted-away (deleted) rows can never have their ids reused.
+    Watermark { table: TableId, next_row_id: u64 },
+}

@@ -1,0 +1,435 @@
+//! Open documents: the `DocHandle`.
+//!
+//! A `DocHandle` is what an editor client holds for an open document. It
+//! caches the character chain (a [`Chain`] position index plus per-char
+//! info) and funnels every edit through database transactions. The cache
+//! only ever contains *committed* state: each editing call commits
+//! synchronously, and remote editors' committed operations are applied
+//! through [`DocHandle::apply_remote`] (fed by the collaboration bus) or
+//! by a full [`DocHandle::refresh`].
+
+use std::collections::HashMap;
+
+use tendax_storage::{Transaction, Value};
+
+use crate::chain::Chain;
+use crate::error::{Result, TextError};
+use crate::ids::{CharId, DocId, StyleId, UserId};
+use crate::ops::Effect;
+use crate::security::Permission;
+use crate::textdb::TextDb;
+
+/// Cached per-character state (mirror of the `chars` row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharInfo {
+    pub ch: char,
+    pub deleted: bool,
+    pub style: StyleId,
+    pub author: UserId,
+    pub created_at: i64,
+    pub version: i64,
+    pub src_doc: DocId,
+    pub src_char: CharId,
+    pub external_src: Option<String>,
+}
+
+/// An open document bound to a user.
+#[derive(Debug)]
+pub struct DocHandle {
+    pub(crate) tdb: TextDb,
+    pub(crate) doc: DocId,
+    pub(crate) user: UserId,
+    pub(crate) chain: Chain,
+    pub(crate) cache: HashMap<CharId, CharInfo>,
+    /// Snapshot (commit) timestamp of the last full rebuild: everything
+    /// committed at or before this is reflected in the cache.
+    pub(crate) synced_ts: tendax_storage::Ts,
+}
+
+impl TextDb {
+    /// Open `doc` as `user`: checks [`Permission::Read`], records a read
+    /// event (metadata for dynamic folders / ranking), and builds the
+    /// position index from the stored character chain.
+    pub fn open(&self, doc: DocId, user: UserId) -> Result<DocHandle> {
+        self.check_permission(doc, user, Permission::Read)?;
+        let mut handle = DocHandle {
+            tdb: self.clone(),
+            doc,
+            user,
+            chain: Chain::new(),
+            cache: HashMap::new(),
+            synced_ts: 0,
+        };
+        handle.rebuild()?;
+        // Read event in its own transaction: opening is itself an action
+        // that generates creation-process metadata.
+        let mut txn = self.database().begin();
+        txn.insert(
+            self.tables().reads,
+            tendax_storage::Row::new(vec![
+                doc.value(),
+                user.value(),
+                Value::Timestamp(self.now()),
+            ]),
+        )?;
+        txn.commit()?;
+        Ok(handle)
+    }
+}
+
+impl DocHandle {
+    pub fn doc(&self) -> DocId {
+        self.doc
+    }
+
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    pub fn textdb(&self) -> &TextDb {
+        &self.tdb
+    }
+
+    /// Visible document length in characters.
+    pub fn len(&self) -> usize {
+        self.chain.visible_len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The visible text.
+    pub fn text(&self) -> String {
+        self.chain
+            .iter_visible()
+            .into_iter()
+            .map(|id| self.cache[&id].ch)
+            .collect()
+    }
+
+    /// Visible text of `[pos, pos + len)` (clamped at document end).
+    pub fn text_range(&self, pos: usize, len: usize) -> String {
+        self.chain
+            .visible_range(pos, len)
+            .into_iter()
+            .map(|id| self.cache[&id].ch)
+            .collect()
+    }
+
+    /// The character id at visible position `pos`.
+    pub fn char_at(&self, pos: usize) -> Option<CharId> {
+        self.chain.id_at_visible(pos)
+    }
+
+    /// Cached info for a character (visible or tombstoned).
+    pub fn char_info(&self, id: CharId) -> Option<&CharInfo> {
+        self.cache.get(&id)
+    }
+
+    /// Visible position of a character id.
+    pub fn position_of(&self, id: CharId) -> Option<usize> {
+        self.chain.visible_rank(id)
+    }
+
+    /// Caret position immediately after `anchor`, even if the anchor has
+    /// been tombstoned by a remote delete — the primitive an editor uses
+    /// to keep its cursor attached to the text it was typed next to.
+    pub fn caret_after(&self, anchor: CharId) -> Option<usize> {
+        let rank = self.chain.total_rank(anchor)?;
+        Some(self.chain.visible_count_through(rank))
+    }
+
+    /// Total chain length including tombstones (exposed for mining).
+    pub fn chain_len(&self) -> usize {
+        self.chain.total_len()
+    }
+
+    /// Commit timestamp of the last full rebuild: remote events with a
+    /// commit at or below this are already reflected in the cache.
+    pub fn synced_ts(&self) -> tendax_storage::Ts {
+        self.synced_ts
+    }
+
+    /// Number of whitespace-separated words in the visible text.
+    pub fn word_count(&self) -> usize {
+        self.text().split_whitespace().count()
+    }
+
+    /// Visible position of the first occurrence of `needle` at or after
+    /// `from`.
+    pub fn find(&self, needle: &str, from: usize) -> Option<usize> {
+        if needle.is_empty() {
+            return Some(from.min(self.len()));
+        }
+        let chars: Vec<char> = self.text().chars().collect();
+        let pat: Vec<char> = needle.chars().collect();
+        if from + pat.len() > chars.len() {
+            return None;
+        }
+        (from..=chars.len() - pat.len()).find(|&i| chars[i..i + pat.len()] == pat[..])
+    }
+
+    /// Discard the cache and rebuild it from the database.
+    pub fn refresh(&mut self) -> Result<()> {
+        self.rebuild()
+    }
+
+    pub(crate) fn rebuild(&mut self) -> Result<()> {
+        let t = self.tdb.tables();
+        let txn = self.tdb.database().begin();
+        self.synced_ts = txn.snapshot_ts();
+        let rows = txn.index_lookup(t.chars, "chars_by_doc", &[self.doc.value()])?;
+
+        let mut infos: HashMap<CharId, (CharInfo, CharId /*next*/, CharId /*prev*/)> =
+            HashMap::with_capacity(rows.len());
+        let mut head = CharId::NONE;
+        for (rid, row) in &rows {
+            let id = CharId::from_row(*rid);
+            let prev = row.get(1).map(CharId::from_value).unwrap_or(CharId::NONE);
+            let next = row.get(2).map(CharId::from_value).unwrap_or(CharId::NONE);
+            let info = CharInfo {
+                ch: row
+                    .get(3)
+                    .and_then(|v| v.as_text())
+                    .and_then(|s| s.chars().next())
+                    .unwrap_or('\u{FFFD}'),
+                author: row.get(4).map(UserId::from_value).unwrap_or(UserId::NONE),
+                created_at: row.get(5).and_then(|v| v.as_timestamp()).unwrap_or(0),
+                version: row.get(6).and_then(|v| v.as_int()).unwrap_or(0),
+                deleted: row.get(7).and_then(|v| v.as_bool()).unwrap_or(false),
+                style: row.get(10).map(StyleId::from_value).unwrap_or(StyleId::NONE),
+                src_doc: row.get(11).map(DocId::from_value).unwrap_or(DocId::NONE),
+                src_char: row.get(12).map(CharId::from_value).unwrap_or(CharId::NONE),
+                external_src: row
+                    .get(13)
+                    .and_then(|v| v.as_text())
+                    .map(str::to_owned),
+            };
+            if prev.is_none() {
+                if !head.is_none() {
+                    return Err(TextError::ChainCorrupt(format!(
+                        "two chain heads in {}: {head} and {id}",
+                        self.doc
+                    )));
+                }
+                head = id;
+            }
+            infos.insert(id, (info, next, prev));
+        }
+
+        let mut order = Vec::with_capacity(infos.len());
+        let mut cache = HashMap::with_capacity(infos.len());
+        let mut cur = head;
+        while !cur.is_none() {
+            let (info, next, _) = infos.get(&cur).ok_or_else(|| {
+                TextError::ChainCorrupt(format!("dangling next pointer to {cur}"))
+            })?;
+            order.push((cur, !info.deleted));
+            cache.insert(cur, info.clone());
+            cur = *next;
+            if order.len() > infos.len() {
+                return Err(TextError::ChainCorrupt(format!(
+                    "cycle in character chain of {}",
+                    self.doc
+                )));
+            }
+        }
+        if order.len() != infos.len() {
+            return Err(TextError::ChainCorrupt(format!(
+                "chain walk reached {} of {} characters in {}",
+                order.len(),
+                infos.len(),
+                self.doc
+            )));
+        }
+        self.chain = Chain::build(order);
+        self.cache = cache;
+        Ok(())
+    }
+
+    /// Whether `effects` can be applied against the current cache: every
+    /// insert anchor and every touched character must already be known
+    /// (or be created earlier in the same effect list). Publishing
+    /// happens after commit outside the commit lock, so a fast editor
+    /// can broadcast an operation that *depends* on a slightly older,
+    /// not-yet-delivered one — callers hold such events back until their
+    /// dependencies arrive (see `tendax-collab`'s reorder buffer).
+    pub fn effects_applicable(&self, effects: &[Effect]) -> bool {
+        let mut introduced: std::collections::HashSet<CharId> = std::collections::HashSet::new();
+        for e in effects {
+            match e {
+                Effect::Insert { char, prev, .. } => {
+                    if let Some(p) = prev {
+                        if !self.chain.contains(*p) && !introduced.contains(p) {
+                            return false;
+                        }
+                    }
+                    introduced.insert(*char);
+                }
+                Effect::Delete { char, .. }
+                | Effect::Undelete { char }
+                | Effect::SetStyle { char, .. } => {
+                    if !self.chain.contains(*char) && !introduced.contains(char) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Apply a remote editor's committed effects to the local cache.
+    ///
+    /// Effects arrive in commit order from the collaboration bus; the
+    /// application is idempotent, so redelivery (including echo of this
+    /// handle's own operations) is harmless. Callers must ensure
+    /// [`DocHandle::effects_applicable`] (out-of-order delivery is
+    /// buffered by the collaboration layer).
+    pub fn apply_remote(&mut self, effects: &[Effect]) {
+        for e in effects {
+            match e {
+                Effect::Insert {
+                    char,
+                    prev,
+                    ch,
+                    author,
+                    ts,
+                    style,
+                    src_doc,
+                    src_char,
+                    external,
+                } => {
+                    if self.chain.contains(*char) {
+                        continue; // echo of our own op or redelivery
+                    }
+                    self.chain.insert_after(*prev, *char, true);
+                    self.cache.insert(
+                        *char,
+                        CharInfo {
+                            ch: *ch,
+                            deleted: false,
+                            style: *style,
+                            author: *author,
+                            created_at: *ts,
+                            version: 0,
+                            src_doc: *src_doc,
+                            src_char: *src_char,
+                            external_src: external.clone(),
+                        },
+                    );
+                }
+                Effect::Delete { char, by, ts } => {
+                    self.chain.set_visible(*char, false);
+                    if let Some(info) = self.cache.get_mut(char) {
+                        info.deleted = true;
+                        let _ = (by, ts);
+                    }
+                }
+                Effect::Undelete { char } => {
+                    self.chain.set_visible(*char, true);
+                    if let Some(info) = self.cache.get_mut(char) {
+                        info.deleted = false;
+                    }
+                }
+                Effect::SetStyle { char, new, .. } => {
+                    if let Some(info) = self.cache.get_mut(char) {
+                        info.style = *new;
+                        info.version += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validate that `[pos, pos+len)` addresses visible characters.
+    pub(crate) fn check_range(&self, pos: usize, len: usize) -> Result<()> {
+        let doc_len = self.len();
+        if pos + len > doc_len {
+            return Err(TextError::InvalidPosition { pos, len, doc_len });
+        }
+        Ok(())
+    }
+
+    /// Begin a transaction on the underlying database.
+    pub(crate) fn begin(&self) -> Transaction {
+        self.tdb.database().begin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TextDb, UserId, DocId) {
+        let tdb = TextDb::in_memory();
+        let user = tdb.create_user("alice").unwrap();
+        let doc = tdb.create_document("d", user).unwrap();
+        (tdb, user, doc)
+    }
+
+    #[test]
+    fn open_empty_document() {
+        let (tdb, user, doc) = setup();
+        let h = tdb.open(doc, user).unwrap();
+        assert_eq!(h.len(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.text(), "");
+        assert_eq!(h.char_at(0), None);
+    }
+
+    #[test]
+    fn open_records_read_event() {
+        let (tdb, user, doc) = setup();
+        let _h = tdb.open(doc, user).unwrap();
+        let _h2 = tdb.open(doc, user).unwrap();
+        let txn = tdb.database().begin();
+        let reads = txn
+            .scan(tdb.tables().reads, &tendax_storage::Predicate::True)
+            .unwrap();
+        assert_eq!(reads.len(), 2);
+    }
+
+    #[test]
+    fn open_requires_read_permission() {
+        let (tdb, alice, doc) = setup();
+        let bob = tdb.create_user("bob").unwrap();
+        tdb.set_access(
+            doc,
+            alice,
+            crate::security::Principal::User(alice),
+            Permission::Read,
+            true,
+        )
+        .unwrap();
+        assert!(matches!(
+            tdb.open(doc, bob),
+            Err(TextError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn find_and_word_count() {
+        let (tdb, user, doc) = setup();
+        let mut h = tdb.open(doc, user).unwrap();
+        h.insert_text(0, "the quick brown fox the end").unwrap();
+        assert_eq!(h.word_count(), 6);
+        assert_eq!(h.find("the", 0), Some(0));
+        assert_eq!(h.find("the", 1), Some(20));
+        assert_eq!(h.find("fox", 0), Some(16));
+        assert_eq!(h.find("zebra", 0), None);
+        assert_eq!(h.find("", 3), Some(3));
+        assert_eq!(h.find("end", 25), None); // past the last match
+    }
+
+    #[test]
+    fn check_range_rejects_out_of_bounds() {
+        let (tdb, user, doc) = setup();
+        let h = tdb.open(doc, user).unwrap();
+        assert!(matches!(
+            h.check_range(0, 1),
+            Err(TextError::InvalidPosition { .. })
+        ));
+        assert!(h.check_range(0, 0).is_ok());
+    }
+}

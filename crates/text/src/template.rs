@@ -1,0 +1,247 @@
+//! Document templates.
+//!
+//! The paper lists "structure, template, layout …" among the definition
+//! metadata TeNDaX manages. A template is a stored blueprint — initial
+//! content plus structure elements — from which new documents are
+//! instantiated. Instantiation replays the content as ordinary editing
+//! transactions, so a templated document is indistinguishable from a
+//! hand-typed one (full metadata, undo, lineage).
+
+use tendax_storage::{Row, Value};
+
+use crate::error::{Result, TextError};
+use crate::ids::{DocId, UserId};
+use crate::textdb::TextDb;
+
+/// Identifier of a stored template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TemplateId(pub u64);
+
+/// A template as read back from the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateInfo {
+    pub id: TemplateId,
+    pub name: String,
+    pub author: UserId,
+    pub created_at: i64,
+    pub content: String,
+    /// Structure elements: `(kind, pos, len)` into the content.
+    pub structure: Vec<(String, usize, usize)>,
+}
+
+impl TextDb {
+    /// Store a template. `structure` entries are `(kind, pos, len)`
+    /// spans addressed into `content` (validated here).
+    pub fn define_template(
+        &self,
+        name: &str,
+        author: UserId,
+        content: &str,
+        structure: &[(&str, usize, usize)],
+    ) -> Result<TemplateId> {
+        let content_len = content.chars().count();
+        for (kind, pos, len) in structure {
+            if *len == 0 || pos + len > content_len {
+                return Err(TextError::InvalidPosition {
+                    pos: *pos,
+                    len: *len,
+                    doc_len: content_len,
+                });
+            }
+            debug_assert!(!kind.is_empty());
+        }
+        let t = self.tables();
+        let mut txn = self.database().begin();
+        self.require_user(&txn, author)?;
+        let rid = txn.insert(
+            t.templates,
+            Row::new(vec![
+                Value::Text(name.to_owned()),
+                author.value(),
+                Value::Timestamp(self.now()),
+                Value::Text(content.to_owned()),
+            ]),
+        )?;
+        for (kind, pos, len) in structure {
+            txn.insert(
+                t.template_structs,
+                Row::new(vec![
+                    Value::Id(rid.0),
+                    Value::Text((*kind).to_owned()),
+                    Value::Int(*pos as i64),
+                    Value::Int(*len as i64),
+                ]),
+            )?;
+        }
+        txn.commit().map_err(|e| match e {
+            tendax_storage::StorageError::UniqueViolation { .. } => {
+                TextError::NameTaken(name.to_owned())
+            }
+            other => other.into(),
+        })?;
+        Ok(TemplateId(rid.0))
+    }
+
+    /// Load a template by name.
+    pub fn template_by_name(&self, name: &str) -> Result<TemplateInfo> {
+        let t = self.tables();
+        let txn = self.database().begin();
+        let hits = txn.index_lookup(
+            t.templates,
+            "templates_by_name",
+            &[Value::Text(name.to_owned())],
+        )?;
+        let (rid, row) = hits
+            .into_iter()
+            .next()
+            .ok_or_else(|| TextError::UnknownDocument(format!("template {name}")))?;
+        let mut structure: Vec<(String, usize, usize)> = txn
+            .index_lookup(
+                t.template_structs,
+                "template_structs_by_template",
+                &[Value::Id(rid.0)],
+            )?
+            .into_iter()
+            .map(|(_, s)| {
+                (
+                    s.get(1)
+                        .and_then(|v| v.as_text())
+                        .unwrap_or_default()
+                        .to_owned(),
+                    s.get(2).and_then(|v| v.as_int()).unwrap_or(0) as usize,
+                    s.get(3).and_then(|v| v.as_int()).unwrap_or(0) as usize,
+                )
+            })
+            .collect();
+        structure.sort_by_key(|(_, pos, _)| *pos);
+        Ok(TemplateInfo {
+            id: TemplateId(rid.0),
+            name: row
+                .get(0)
+                .and_then(|v| v.as_text())
+                .unwrap_or_default()
+                .to_owned(),
+            author: row.get(1).map(UserId::from_value).unwrap_or(UserId::NONE),
+            created_at: row.get(2).and_then(|v| v.as_timestamp()).unwrap_or(0),
+            content: row
+                .get(3)
+                .and_then(|v| v.as_text())
+                .unwrap_or_default()
+                .to_owned(),
+            structure,
+        })
+    }
+
+    /// All templates, by name.
+    pub fn list_templates(&self) -> Result<Vec<TemplateInfo>> {
+        let t = self.tables();
+        let txn = self.database().begin();
+        let mut names: Vec<String> = txn
+            .scan(t.templates, &tendax_storage::Predicate::True)?
+            .into_iter()
+            .filter_map(|(_, row)| row.get(0).and_then(|v| v.as_text()).map(str::to_owned))
+            .collect();
+        names.sort();
+        names
+            .into_iter()
+            .map(|n| self.template_by_name(&n))
+            .collect()
+    }
+
+    /// Create a new document from a template: the content is typed in as
+    /// the creator, and the template's structure elements are applied.
+    pub fn create_document_from_template(
+        &self,
+        doc_name: &str,
+        creator: UserId,
+        template_name: &str,
+    ) -> Result<DocId> {
+        let template = self.template_by_name(template_name)?;
+        let doc = self.create_document(doc_name, creator)?;
+        let mut handle = self.open(doc, creator)?;
+        if !template.content.is_empty() {
+            handle.insert_text(0, &template.content)?;
+        }
+        for (kind, pos, len) in &template.structure {
+            handle.set_structure(*pos, *len, kind)?;
+        }
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TextDb, UserId) {
+        let tdb = TextDb::in_memory();
+        let u = tdb.create_user("alice").unwrap();
+        (tdb, u)
+    }
+
+    #[test]
+    fn define_and_instantiate() {
+        let (tdb, u) = setup();
+        tdb.define_template(
+            "report",
+            u,
+            "Title\n\nIntroduction\n\nConclusion",
+            &[("heading1", 0, 5), ("heading2", 7, 12), ("heading2", 21, 10)],
+        )
+        .unwrap();
+        let doc = tdb
+            .create_document_from_template("q1-report", u, "report")
+            .unwrap();
+        let h = tdb.open(doc, u).unwrap();
+        assert_eq!(h.text(), "Title\n\nIntroduction\n\nConclusion");
+        let structs = h.structures().unwrap();
+        assert_eq!(structs.len(), 3);
+        assert_eq!(structs[0].kind, "heading1");
+        assert_eq!(structs[0].span, Some((0, 4)));
+        assert_eq!(structs[1].span, Some((7, 18)));
+        // The content is real, editable text with metadata.
+        assert_eq!(h.char_meta(0).unwrap().author, u);
+    }
+
+    #[test]
+    fn template_lookup_and_listing() {
+        let (tdb, u) = setup();
+        tdb.define_template("a", u, "aa", &[]).unwrap();
+        tdb.define_template("b", u, "bb", &[("para", 0, 2)]).unwrap();
+        let all = tdb.list_templates().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "a");
+        let b = tdb.template_by_name("b").unwrap();
+        assert_eq!(b.structure, vec![("para".to_owned(), 0, 2)]);
+        assert!(tdb.template_by_name("ghost").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_and_bad_spans_rejected() {
+        let (tdb, u) = setup();
+        tdb.define_template("t", u, "xy", &[]).unwrap();
+        assert!(matches!(
+            tdb.define_template("t", u, "other", &[]),
+            Err(TextError::NameTaken(_))
+        ));
+        assert!(matches!(
+            tdb.define_template("bad", u, "xy", &[("h", 1, 5)]),
+            Err(TextError::InvalidPosition { .. })
+        ));
+        assert!(matches!(
+            tdb.define_template("bad", u, "xy", &[("h", 0, 0)]),
+            Err(TextError::InvalidPosition { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_template_instantiates_empty_document() {
+        let (tdb, u) = setup();
+        tdb.define_template("blank", u, "", &[]).unwrap();
+        let doc = tdb
+            .create_document_from_template("new", u, "blank")
+            .unwrap();
+        let h = tdb.open(doc, u).unwrap();
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Tombstone purging: text-level space reclamation.
+//!
+//! Deleted characters stay in the chain as tombstones so that undo,
+//! lineage and mining keep working — but a long-lived document
+//! accumulates them without bound. `purge_tombstones` physically removes
+//! tombstones older than a horizon in one transaction: surviving
+//! neighbours are re-linked, the purged characters' effect rows are
+//! dropped, and the operations that reference them are sealed (marked
+//! undone) so undo/redo never tries to revive a purged character.
+//!
+//! Trade-off, stated plainly: purging truncates undo history and
+//! character-level provenance chains at the horizon — exactly like a
+//! database `VACUUM` truncates time travel. Open handles become stale
+//! and recover via their normal refresh path.
+
+use std::collections::{BTreeSet, HashMap};
+
+use tendax_storage::Value;
+
+use crate::error::{Result, TextError};
+use crate::ids::{CharId, DocId, OpId};
+use crate::textdb::TextDb;
+
+/// What a purge did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PurgeStats {
+    /// Tombstoned characters physically removed.
+    pub purged_chars: usize,
+    /// Surviving characters whose `prev`/`next` links were rewritten.
+    pub relinked: usize,
+    /// Operations sealed (their effects referenced purged characters).
+    pub sealed_ops: usize,
+}
+
+impl TextDb {
+    /// Physically remove tombstones of `doc` whose deletion happened
+    /// strictly before `before` (engine-clock timestamp). Returns what
+    /// was reclaimed.
+    pub fn purge_tombstones(&self, doc: DocId, before: i64) -> Result<PurgeStats> {
+        let t = *self.tables();
+        let mut txn = self.database().begin();
+        let rows = txn.index_lookup(t.chars, "chars_by_doc", &[doc.value()])?;
+        if rows.is_empty() {
+            txn.abort();
+            return Ok(PurgeStats::default());
+        }
+
+        // Decode linkage and find the head.
+        struct Node {
+            prev: CharId,
+            next: CharId,
+            purge: bool,
+        }
+        let mut nodes: HashMap<CharId, Node> = HashMap::with_capacity(rows.len());
+        let mut head = CharId::NONE;
+        for (rid, row) in &rows {
+            let id = CharId::from_row(*rid);
+            let prev = row.get(1).map(CharId::from_value).unwrap_or(CharId::NONE);
+            let next = row.get(2).map(CharId::from_value).unwrap_or(CharId::NONE);
+            let deleted = row.get(7).and_then(|v| v.as_bool()).unwrap_or(false);
+            let deleted_at = row.get(9).and_then(|v| v.as_timestamp());
+            let purge = deleted && deleted_at.is_some_and(|ts| ts < before);
+            if prev.is_none() {
+                head = id;
+            }
+            nodes.insert(id, Node { prev, next, purge });
+        }
+        if head.is_none() {
+            txn.abort();
+            return Err(TextError::ChainCorrupt(format!("no chain head in {doc}")));
+        }
+
+        // Walk the chain; compute the surviving sequence.
+        let mut order = Vec::with_capacity(nodes.len());
+        let mut cur = head;
+        while !cur.is_none() {
+            let node = nodes
+                .get(&cur)
+                .ok_or_else(|| TextError::ChainCorrupt(format!("dangling pointer to {cur}")))?;
+            order.push(cur);
+            cur = node.next;
+            if order.len() > nodes.len() {
+                return Err(TextError::ChainCorrupt(format!("cycle in {doc}")));
+            }
+        }
+        let survivors: Vec<CharId> = order
+            .iter()
+            .copied()
+            .filter(|id| !nodes[id].purge)
+            .collect();
+        let purged: Vec<CharId> = order
+            .iter()
+            .copied()
+            .filter(|id| nodes[id].purge)
+            .collect();
+        if purged.is_empty() {
+            txn.abort();
+            return Ok(PurgeStats::default());
+        }
+
+        // Re-link survivors whose neighbours changed.
+        let mut relinked = 0;
+        for (i, id) in survivors.iter().enumerate() {
+            let new_prev = if i == 0 { CharId::NONE } else { survivors[i - 1] };
+            let new_next = survivors.get(i + 1).copied().unwrap_or(CharId::NONE);
+            let node = &nodes[id];
+            if node.prev != new_prev || node.next != new_next {
+                txn.set(
+                    t.chars,
+                    id.row(),
+                    &[
+                        ("prev", new_prev.opt_value()),
+                        ("next", new_next.opt_value()),
+                    ],
+                )?;
+                relinked += 1;
+            }
+        }
+
+        // Seal operations that reference purged characters and drop the
+        // effect rows; then drop the characters themselves. Reads happen
+        // before the bulk deletes: index lookups are overlay-aware and
+        // would otherwise rescan an ever-growing write set (quadratic).
+        let mut sealed: BTreeSet<OpId> = BTreeSet::new();
+        let mut effect_rows = Vec::new();
+        for id in &purged {
+            for (erid, erow) in
+                txn.index_lookup(t.op_effects, "op_effects_by_char", &[id.value()])?
+            {
+                if let Some(op) = erow.get(0).map(OpId::from_value) {
+                    sealed.insert(op);
+                }
+                effect_rows.push(erid);
+            }
+        }
+        for erid in effect_rows {
+            txn.delete(t.op_effects, erid)?;
+        }
+        for id in &purged {
+            txn.delete(t.chars, id.row())?;
+        }
+        for op in &sealed {
+            // The op row may itself be gone in pathological cases; ignore
+            // individual misses rather than failing the purge.
+            let _ = txn.set(t.oplog, op.row(), &[("undone", Value::Bool(true))]);
+        }
+        txn.commit()?;
+        Ok(PurgeStats {
+            purged_chars: purged.len(),
+            relinked,
+            sealed_ops: sealed.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TextDb, crate::ids::UserId, DocId) {
+        let tdb = TextDb::in_memory();
+        let u = tdb.create_user("alice").unwrap();
+        let d = tdb.create_document("doc", u).unwrap();
+        (tdb, u, d)
+    }
+
+    #[test]
+    fn purge_removes_old_tombstones_and_relinks() {
+        let (tdb, u, d) = setup();
+        let mut h = tdb.open(d, u).unwrap();
+        h.insert_text(0, "hello cruel world").unwrap();
+        h.delete_range(5, 6).unwrap(); // " cruel"
+        assert_eq!(h.text(), "hello world");
+        assert_eq!(h.chain_len(), 17);
+
+        let horizon = tdb.now();
+        let stats = tdb.purge_tombstones(d, horizon).unwrap();
+        assert_eq!(stats.purged_chars, 6);
+        assert!(stats.relinked >= 1);
+        assert_eq!(stats.sealed_ops, 2); // the insert op and the delete op
+
+        // A fresh handle sees the same text over a compact chain.
+        let h2 = tdb.open(d, u).unwrap();
+        assert_eq!(h2.text(), "hello world");
+        assert_eq!(h2.chain_len(), 11);
+    }
+
+    #[test]
+    fn purge_respects_the_horizon() {
+        let (tdb, u, d) = setup();
+        let mut h = tdb.open(d, u).unwrap();
+        h.insert_text(0, "abcdef").unwrap();
+        h.delete_range(0, 2).unwrap();
+        let mid = tdb.now();
+        h.delete_range(0, 2).unwrap(); // deletes "cd" after `mid`
+        // Only the first deletion is older than `mid`.
+        let stats = tdb.purge_tombstones(d, mid).unwrap();
+        assert_eq!(stats.purged_chars, 2);
+        let h2 = tdb.open(d, u).unwrap();
+        assert_eq!(h2.text(), "ef");
+        assert_eq!(h2.chain_len(), 4); // "cd" tombstones remain
+    }
+
+    #[test]
+    fn purge_seals_undo_past_the_horizon() {
+        let (tdb, u, d) = setup();
+        let mut h = tdb.open(d, u).unwrap();
+        h.insert_text(0, "keep ").unwrap();
+        h.insert_text(5, "gone").unwrap();
+        h.delete_range(5, 4).unwrap();
+        tdb.purge_tombstones(d, tdb.now()).unwrap();
+
+        let mut h2 = tdb.open(d, u).unwrap();
+        assert_eq!(h2.text(), "keep ");
+        // The delete and the purged insert are sealed; undo reaches the
+        // surviving first insert instead of failing on missing rows.
+        h2.undo().unwrap();
+        assert_eq!(h2.text(), "");
+        assert!(h2.undo().is_err());
+    }
+
+    #[test]
+    fn purge_noops_when_nothing_qualifies() {
+        let (tdb, u, d) = setup();
+        let mut h = tdb.open(d, u).unwrap();
+        h.insert_text(0, "live text").unwrap();
+        let stats = tdb.purge_tombstones(d, tdb.now()).unwrap();
+        assert_eq!(stats, PurgeStats::default());
+        // Empty document too.
+        let d2 = tdb.create_document("empty", u).unwrap();
+        assert_eq!(
+            tdb.purge_tombstones(d2, tdb.now()).unwrap(),
+            PurgeStats::default()
+        );
+    }
+
+    #[test]
+    fn stale_handle_recovers_after_purge() {
+        let (tdb, u, d) = setup();
+        let mut h = tdb.open(d, u).unwrap();
+        h.insert_text(0, "abcdef").unwrap();
+        h.delete_range(2, 2).unwrap();
+        let mut stale = tdb.open(d, u).unwrap();
+        tdb.purge_tombstones(d, tdb.now()).unwrap();
+        // The stale handle's next edit detects the changed linkage,
+        // refreshes, and succeeds on retry.
+        let err = stale.insert_text(2, "X");
+        if let Err(e) = err {
+            assert!(e.is_retryable());
+            stale.refresh().unwrap();
+            stale.insert_text(2, "X").unwrap();
+        }
+        let fresh = tdb.open(d, u).unwrap();
+        assert_eq!(fresh.text(), "abXef");
+    }
+}

@@ -1,0 +1,149 @@
+//! Named document versions.
+//!
+//! Every character already carries its own version history (tombstones +
+//! the operation log); named versions add user-facing snapshots: "submit
+//! draft", "as reviewed", … A snapshot stores the visible text at capture
+//! time; restoring replays it as ordinary (undoable) editing operations.
+
+use tendax_storage::{Row, Value};
+
+use crate::document::DocHandle;
+use crate::error::{Result, TextError};
+use crate::ids::{UserId, VersionId};
+use crate::ops::EditReceipt;
+
+/// A named snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionInfo {
+    pub id: VersionId,
+    pub name: String,
+    pub author: UserId,
+    pub ts: i64,
+    pub size: usize,
+}
+
+impl DocHandle {
+    /// Capture the current visible text as a named version.
+    pub fn save_version(&self, name: &str) -> Result<VersionId> {
+        let t = self.tdb.tables();
+        let mut txn = self.begin();
+        let rid = txn.insert(
+            t.doc_versions,
+            Row::new(vec![
+                self.doc.value(),
+                Value::Text(name.to_owned()),
+                self.user.value(),
+                Value::Timestamp(self.tdb.now()),
+                Value::Text(self.text()),
+            ]),
+        )?;
+        txn.commit()?;
+        Ok(VersionId::from_row(rid))
+    }
+
+    /// All saved versions, oldest first.
+    pub fn versions(&self) -> Result<Vec<VersionInfo>> {
+        let t = self.tdb.tables();
+        let txn = self.begin();
+        let mut out: Vec<VersionInfo> = txn
+            .index_lookup(t.doc_versions, "doc_versions_by_doc", &[self.doc.value()])?
+            .into_iter()
+            .map(|(rid, row)| VersionInfo {
+                id: VersionId::from_row(rid),
+                name: row
+                    .get(1)
+                    .and_then(|v| v.as_text())
+                    .unwrap_or_default()
+                    .to_owned(),
+                author: row.get(2).map(UserId::from_value).unwrap_or(UserId::NONE),
+                ts: row.get(3).and_then(|v| v.as_timestamp()).unwrap_or(0),
+                size: row
+                    .get(4)
+                    .and_then(|v| v.as_text())
+                    .map_or(0, |s| s.chars().count()),
+            })
+            .collect();
+        out.sort_by_key(|v| v.ts);
+        Ok(out)
+    }
+
+    /// The text captured under `name` (newest version with that name).
+    pub fn version_content(&self, name: &str) -> Result<String> {
+        let t = self.tdb.tables();
+        let txn = self.begin();
+        let rows =
+            txn.index_lookup(t.doc_versions, "doc_versions_by_doc", &[self.doc.value()])?;
+        rows.into_iter()
+            .filter(|(_, row)| row.get(1).and_then(|v| v.as_text()) == Some(name))
+            .max_by_key(|(_, row)| row.get(3).and_then(|v| v.as_timestamp()).unwrap_or(0))
+            .and_then(|(_, row)| row.get(4).and_then(|v| v.as_text()).map(str::to_owned))
+            .ok_or_else(|| TextError::UnknownVersion(name.to_owned()))
+    }
+
+    /// Replace the document's content with the named version. Issued as a
+    /// delete + insert, so it is undoable like any other edit.
+    pub fn restore_version(&mut self, name: &str) -> Result<EditReceipt> {
+        let content = self.version_content(name)?;
+        let len = self.len();
+        if len > 0 {
+            self.delete_range(0, len)?;
+        }
+        self.insert_text(0, &content)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textdb::TextDb;
+
+    #[test]
+    fn save_list_and_restore() {
+        let tdb = TextDb::in_memory();
+        let user = tdb.create_user("alice").unwrap();
+        let doc = tdb.create_document("d", user).unwrap();
+        let mut h = tdb.open(doc, user).unwrap();
+        h.insert_text(0, "version one").unwrap();
+        h.save_version("v1").unwrap();
+        h.replace_range(8, 3, "two").unwrap();
+        h.save_version("v2").unwrap();
+        assert_eq!(h.text(), "version two");
+
+        let versions = h.versions().unwrap();
+        assert_eq!(versions.len(), 2);
+        assert_eq!(versions[0].name, "v1");
+        assert_eq!(versions[0].size, 11);
+        assert_eq!(h.version_content("v1").unwrap(), "version one");
+
+        h.restore_version("v1").unwrap();
+        assert_eq!(h.text(), "version one");
+        // Restore is undoable (undo the insert, then the delete).
+        h.undo().unwrap();
+        h.undo().unwrap();
+        assert_eq!(h.text(), "version two");
+    }
+
+    #[test]
+    fn unknown_version_errors() {
+        let tdb = TextDb::in_memory();
+        let user = tdb.create_user("alice").unwrap();
+        let doc = tdb.create_document("d", user).unwrap();
+        let mut h = tdb.open(doc, user).unwrap();
+        assert!(matches!(
+            h.restore_version("ghost"),
+            Err(TextError::UnknownVersion(_))
+        ));
+    }
+
+    #[test]
+    fn restore_into_empty_document() {
+        let tdb = TextDb::in_memory();
+        let user = tdb.create_user("alice").unwrap();
+        let doc = tdb.create_document("d", user).unwrap();
+        let mut h = tdb.open(doc, user).unwrap();
+        h.save_version("empty").unwrap();
+        h.insert_text(0, "content").unwrap();
+        h.restore_version("empty").unwrap();
+        assert_eq!(h.text(), "");
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based tests for the text extension.
+//!
+//! The reference model is a plain `String`; the system under test is the
+//! full stack (character tuples in the MVCC engine + the chain cache).
+
+use proptest::prelude::*;
+
+use tendax_text::{DocHandle, TextDb, UserId};
+
+#[derive(Debug, Clone)]
+enum EditOp {
+    Insert(usize, String),
+    Delete(usize, usize),
+    Undo,
+    Redo,
+}
+
+fn arb_edit() -> impl Strategy<Value = EditOp> {
+    prop_oneof![
+        4 => (any::<usize>(), "[a-z ]{1,8}").prop_map(|(p, s)| EditOp::Insert(p, s)),
+        3 => (any::<usize>(), 1usize..6).prop_map(|(p, n)| EditOp::Delete(p, n)),
+        1 => Just(EditOp::Undo),
+        1 => Just(EditOp::Redo),
+    ]
+}
+
+fn setup() -> (TextDb, UserId, DocHandle) {
+    let tdb = TextDb::in_memory();
+    let user = tdb.create_user("alice").unwrap();
+    let doc = tdb.create_document("d", user).unwrap();
+    let h = tdb.open(doc, user).unwrap();
+    (tdb, user, h)
+}
+
+fn char_insert(s: &mut String, pos: usize, text: &str) {
+    let byte = s.char_indices().nth(pos).map(|(b, _)| b).unwrap_or(s.len());
+    s.insert_str(byte, text);
+}
+
+fn char_delete(s: &mut String, pos: usize, len: usize) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let removed: String = chars[pos..pos + len].iter().collect();
+    *s = chars[..pos]
+        .iter()
+        .chain(chars[pos + len..].iter())
+        .collect();
+    removed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary single-user edit scripts: the database-backed document
+    /// always equals the string model; a reload from raw tuples agrees.
+    #[test]
+    fn document_matches_string_model(script in proptest::collection::vec(arb_edit(), 1..40)) {
+        let (tdb, user, mut h) = setup();
+        let mut model = String::new();
+        // Model undo/redo as state snapshots (engine semantics: undo
+        // reverts the newest not-undone edit op). The engine additionally
+        // permits redo *after* intervening edits (re-applying the undone
+        // op out of order); a snapshot model cannot predict that, so the
+        // script only exercises redo while no edit happened since the
+        // last undo.
+        let mut undo_stack: Vec<String> = Vec::new();
+        let mut redo_stack: Vec<String> = Vec::new();
+        let mut edited_since_undo = false;
+        // The engine keeps undone ops redoable even across edits; the
+        // snapshot model does not. Count how many engine-level redoable
+        // undos exist so we only assert NothingToRedo when it holds.
+        let mut engine_redoable = 0usize;
+
+        for op in script {
+            match op {
+                EditOp::Insert(p, text) => {
+                    let pos = p % (model.chars().count() + 1);
+                    h.insert_text(pos, &text).unwrap();
+                    undo_stack.push(model.clone());
+                    char_insert(&mut model, pos, &text);
+                    redo_stack.clear();
+                    edited_since_undo = true;
+                }
+                EditOp::Delete(p, n) => {
+                    let len = model.chars().count();
+                    if len == 0 {
+                        continue;
+                    }
+                    let pos = p % len;
+                    let n = n.min(len - pos);
+                    if n == 0 {
+                        continue;
+                    }
+                    h.delete_range(pos, n).unwrap();
+                    undo_stack.push(model.clone());
+                    char_delete(&mut model, pos, n);
+                    redo_stack.clear();
+                    edited_since_undo = true;
+                }
+                EditOp::Undo => {
+                    match undo_stack.pop() {
+                        Some(prev) => {
+                            h.undo().unwrap();
+                            redo_stack.push(model.clone());
+                            model = prev;
+                            edited_since_undo = false;
+                            engine_redoable += 1;
+                        }
+                        None => {
+                            prop_assert!(h.undo().is_err());
+                        }
+                    }
+                }
+                EditOp::Redo => {
+                    if edited_since_undo {
+                        continue; // engine semantics diverge from snapshots
+                    }
+                    match redo_stack.pop() {
+                        Some(next) => {
+                            h.redo().unwrap();
+                            undo_stack.push(model.clone());
+                            model = next;
+                            engine_redoable -= 1;
+                        }
+                        None if engine_redoable == 0 => {
+                            prop_assert!(h.redo().is_err());
+                        }
+                        None => {
+                            // Engine could redo an op from before an edit
+                            // boundary; snapshots can't predict the result.
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(h.text(), model.clone());
+            prop_assert_eq!(h.len(), model.chars().count());
+        }
+
+        // Reload from raw tuples and compare.
+        let fresh = tdb.open(h.doc(), user).unwrap();
+        prop_assert_eq!(fresh.text(), model);
+    }
+
+    /// Copy-paste between two documents preserves the copied text and
+    /// stamps provenance on every pasted character.
+    #[test]
+    fn paste_preserves_text_and_provenance(
+        src_text in "[a-z]{5,30}",
+        start_frac in 0.0f64..1.0,
+        len in 1usize..10,
+    ) {
+        let tdb = TextDb::in_memory();
+        let user = tdb.create_user("u").unwrap();
+        let d1 = tdb.create_document("src", user).unwrap();
+        let d2 = tdb.create_document("dst", user).unwrap();
+        let mut h1 = tdb.open(d1, user).unwrap();
+        h1.insert_text(0, &src_text).unwrap();
+        let n = src_text.chars().count();
+        let start = ((n as f64 - 1.0) * start_frac) as usize;
+        let len = len.min(n - start);
+        let clip = h1.copy(start, len).unwrap();
+        let expected: String = src_text.chars().skip(start).take(len).collect();
+        prop_assert_eq!(clip.text(), expected.clone());
+
+        let mut h2 = tdb.open(d2, user).unwrap();
+        h2.paste(0, &clip).unwrap();
+        prop_assert_eq!(h2.text(), expected);
+        for pos in 0..len {
+            let meta = h2.char_meta(pos).unwrap();
+            let copied_from_src = matches!(
+                meta.provenance,
+                tendax_text::Provenance::CopiedFrom { doc, .. } if doc == d1
+            );
+            prop_assert!(copied_from_src);
+        }
+    }
+
+    /// Two handles kept in sync via effect broadcast always converge.
+    #[test]
+    fn effect_broadcast_converges(script in proptest::collection::vec(arb_edit(), 1..25)) {
+        let tdb = TextDb::in_memory();
+        let alice = tdb.create_user("alice").unwrap();
+        let bob = tdb.create_user("bob").unwrap();
+        let doc = tdb.create_document("d", alice).unwrap();
+        let mut ha = tdb.open(doc, alice).unwrap();
+        let mut hb = tdb.open(doc, bob).unwrap();
+
+        for (i, op) in script.into_iter().enumerate() {
+            // Alternate which editor acts.
+            let (actor, watcher) = if i % 2 == 0 {
+                (&mut ha, &mut hb)
+            } else {
+                (&mut hb, &mut ha)
+            };
+            let receipt = match op {
+                EditOp::Insert(p, text) => {
+                    let pos = p % (actor.len() + 1);
+                    actor.insert_text(pos, &text).unwrap()
+                }
+                EditOp::Delete(p, n) => {
+                    let len = actor.len();
+                    if len == 0 {
+                        continue;
+                    }
+                    let pos = p % len;
+                    let n = n.min(len - pos);
+                    if n == 0 {
+                        continue;
+                    }
+                    actor.delete_range(pos, n).unwrap()
+                }
+                EditOp::Undo => match actor.undo() {
+                    Ok(r) => r,
+                    Err(_) => continue,
+                },
+                EditOp::Redo => match actor.redo() {
+                    Ok(r) => r,
+                    Err(_) => continue,
+                },
+            };
+            watcher.apply_remote(&receipt.effects);
+            prop_assert_eq!(ha.text(), hb.text());
+        }
+    }
+}

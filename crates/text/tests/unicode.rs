@@ -1,0 +1,102 @@
+//! Unicode behaviour of the character-tuple model.
+//!
+//! TeNDaX stores one Unicode scalar value per tuple. These tests pin the
+//! semantics for multi-byte scalars (CJK, emoji), combining marks (which
+//! are separate tuples — positions are scalar positions, not grapheme
+//! positions), and mixed scripts, through the full stack including
+//! undo, copy-paste and reload.
+
+use tendax_text::TextDb;
+
+fn setup() -> (TextDb, tendax_text::UserId, tendax_text::DocId) {
+    let tdb = TextDb::in_memory();
+    let u = tdb.create_user("u").unwrap();
+    let d = tdb.create_document("d", u).unwrap();
+    (tdb, u, d)
+}
+
+#[test]
+fn multibyte_scalars_roundtrip() {
+    let (tdb, u, d) = setup();
+    let mut h = tdb.open(d, u).unwrap();
+    let text = "héllo wörld — 日本語 🦀 emoji";
+    h.insert_text(0, text).unwrap();
+    assert_eq!(h.text(), text);
+    assert_eq!(h.len(), text.chars().count());
+    // Reload from raw tuples.
+    let h2 = tdb.open(d, u).unwrap();
+    assert_eq!(h2.text(), text);
+}
+
+#[test]
+fn positions_are_scalar_positions() {
+    let (tdb, u, d) = setup();
+    let mut h = tdb.open(d, u).unwrap();
+    h.insert_text(0, "a🦀b").unwrap();
+    assert_eq!(h.len(), 3); // one scalar each
+    h.delete_range(1, 1).unwrap(); // removes the crab
+    assert_eq!(h.text(), "ab");
+    h.undo().unwrap();
+    assert_eq!(h.text(), "a🦀b");
+}
+
+#[test]
+fn combining_marks_are_separate_tuples() {
+    let (tdb, u, d) = setup();
+    let mut h = tdb.open(d, u).unwrap();
+    // "e" + COMBINING ACUTE ACCENT (decomposed é).
+    let decomposed = "e\u{0301}x";
+    h.insert_text(0, decomposed).unwrap();
+    assert_eq!(h.len(), 3);
+    assert_eq!(h.text(), decomposed);
+    // Deleting the combining mark alone is possible (scalar granularity).
+    h.delete_range(1, 1).unwrap();
+    assert_eq!(h.text(), "ex");
+}
+
+#[test]
+fn copy_paste_preserves_unicode_and_provenance() {
+    let (tdb, u, d) = setup();
+    let d2 = tdb.create_document("d2", u).unwrap();
+    let mut h = tdb.open(d, u).unwrap();
+    h.insert_text(0, "中文測試 🦀🚀").unwrap();
+    let clip = h.copy(0, 4).unwrap();
+    assert_eq!(clip.text(), "中文測試");
+    let mut h2 = tdb.open(d2, u).unwrap();
+    h2.paste(0, &clip).unwrap();
+    assert_eq!(h2.text(), "中文測試");
+    let meta = h2.char_meta(0).unwrap();
+    assert!(matches!(
+        meta.provenance,
+        tendax_text::Provenance::CopiedFrom { doc, .. } if doc == d
+    ));
+}
+
+#[test]
+fn mixed_script_editing_with_undo_cycles() {
+    let (tdb, u, d) = setup();
+    let mut h = tdb.open(d, u).unwrap();
+    h.insert_text(0, "abc").unwrap();
+    h.insert_text(1, "αβγ").unwrap();
+    h.insert_text(4, "一二三").unwrap();
+    assert_eq!(h.text(), "aαβγ一二三bc");
+    h.delete_range(2, 4).unwrap();
+    assert_eq!(h.text(), "aα三bc");
+    h.undo().unwrap();
+    h.undo().unwrap();
+    assert_eq!(h.text(), "aαβγbc");
+    h.redo().unwrap();
+    assert_eq!(h.text(), "aαβγ一二三bc");
+    // Search helpers operate on scalar positions too.
+    assert_eq!(h.find("一二", 0), Some(4));
+}
+
+#[test]
+fn render_markup_handles_unicode_styles() {
+    let (tdb, u, d) = setup();
+    let bold = tdb.define_style("bold", "w=b", u).unwrap();
+    let mut h = tdb.open(d, u).unwrap();
+    h.insert_text(0, "日本語 text").unwrap();
+    h.apply_style(0, 3, bold).unwrap();
+    assert_eq!(h.render_markup().unwrap(), "[s:bold]日本語[/s] text");
+}

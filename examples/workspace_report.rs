@@ -1,0 +1,62 @@
+//! The workspace management view: the report, activity timelines and
+//! the co-authorship graph over a generated corpus.
+//!
+//! Run with: `cargo run --example workspace_report`
+
+use tendax_core::{activity_timeline, collaboration_graph, Platform, Tendax};
+
+fn main() -> tendax_core::Result<()> {
+    let tx = Tendax::in_memory()?;
+    let alice = tx.create_user("alice")?;
+    let bob = tx.create_user("bob")?;
+    let carol = tx.create_user("carol")?;
+
+    // A small shared corpus.
+    tx.create_document("spec", alice)?;
+    tx.create_document("notes", bob)?;
+    tx.create_document("faq", carol)?;
+    let sa = tx.connect("alice", Platform::WindowsXp)?;
+    let sb = tx.connect("bob", Platform::Linux)?;
+    let sc = tx.connect("carol", Platform::MacOsX)?;
+
+    let mut spec = sa.open("spec")?;
+    spec.type_text(0, "The system stores text natively in the database. ")?;
+    let mut spec_b = sb.open("spec")?;
+    spec_b.type_text(0, "[reviewed] ")?;
+    let mut notes = sb.open("notes")?;
+    notes.type_text(0, "meeting notes about the spec ")?;
+    let clip = spec.copy(11, 10)?;
+    notes.paste(notes.len(), &clip)?;
+    let mut faq = sc.open("faq")?;
+    faq.type_text(0, "Q: where does text live? A: in the database.")?;
+    faq.delete(0, 3)?;
+
+    // --- The report -------------------------------------------------------
+    let report = tx.report()?;
+    print!("{}", report.render());
+
+    // --- Activity timeline of the busiest document ------------------------
+    let busiest = tx
+        .textdb()
+        .document_by_name(&report.documents[0].name)?;
+    let timeline = activity_timeline(tx.textdb(), busiest, 8)?;
+    println!(
+        "\nactivity timeline of '{}': {timeline:?}",
+        report.documents[0].name
+    );
+
+    // --- Who collaborates with whom ---------------------------------------
+    println!("co-authorship graph:");
+    for (a, b, shared) in collaboration_graph(tx.textdb())? {
+        let an = tx.textdb().user_name(a)?;
+        let bn = tx.textdb().user_name(b)?;
+        println!("  {an} <-> {bn}: {shared} shared document(s)");
+    }
+
+    // --- Editor-level stats -----------------------------------------------
+    println!(
+        "\nalice's editor stats on 'spec': {:?}",
+        spec.stats()
+    );
+    Ok(())
+}

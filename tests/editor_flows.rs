@@ -1,0 +1,136 @@
+//! Editor-level user flows through the facade: the sequences a GUI
+//! front-end would drive, end to end.
+
+use tendax_core::{Platform, Tendax};
+
+#[test]
+fn typing_session_with_cursor_awareness_and_rendering() {
+    let tx = Tendax::in_memory().unwrap();
+    let alice = tx.create_user("alice").unwrap();
+    tx.create_user("bob").unwrap();
+    tx.create_document("letter", alice).unwrap();
+
+    let sa = tx.connect("alice", Platform::WindowsXp).unwrap();
+    let sb = tx.connect("bob", Platform::MacOsX).unwrap();
+    let mut da = sa.open("letter").unwrap();
+    let mut db = sb.open("letter").unwrap();
+
+    // Alice types a heading and body; applies structure and style.
+    da.type_text(0, "Dear team\nAll good things below.").unwrap();
+    let (sid, _) = da
+        .with_handle("structure", |h| {
+            let id = h.set_structure(0, 9, "heading1")?;
+            Ok((
+                id,
+                tendax_core::EditReceipt {
+                    op: tendax_core::OpId::NONE,
+                    commit_ts: 0,
+                    effects: vec![],
+                },
+            ))
+        })
+        .unwrap();
+    assert!(!sid.is_none());
+    let bold = tx.textdb().define_style("bold", "w=b", alice).unwrap();
+    da.apply_style(0, 4, bold).unwrap();
+
+    // Bob catches up and sees the same rendered markup.
+    db.sync();
+    let rendered = db.handle().render_markup().unwrap();
+    assert!(rendered.starts_with("«heading1»[s:bold]Dear[/s]"));
+
+    // Both cursors are visible to each other through awareness.
+    da.set_cursor(9);
+    db.set_cursor(0);
+    let editors = tx.server().editors_on(da.doc());
+    assert_eq!(editors.len(), 2);
+    assert!(editors.iter().any(|p| p.cursor == Some(9)));
+
+    // Bob types at the very front: Alice's cursor must drift with it.
+    db.type_text(0, "RE: ").unwrap();
+    da.sync();
+    assert_eq!(da.cursor(), 13);
+
+    // Save a version, keep editing, restore.
+    let _v = da
+        .with_handle("version", |h| {
+            let id = h.save_version("sent")?;
+            Ok((
+                id,
+                tendax_core::EditReceipt {
+                    op: tendax_core::OpId::NONE,
+                    commit_ts: 0,
+                    effects: vec![],
+                },
+            ))
+        })
+        .unwrap();
+    da.delete(0, 4).unwrap();
+    assert!(!da.text().starts_with("RE: "));
+    let content = da.handle().version_content("sent").unwrap();
+    assert!(content.starts_with("RE: "));
+
+    // The history feed shows the whole story, newest first.
+    let feed = da.handle().history_feed(20).unwrap();
+    assert!(feed.contains("delete"));
+    assert!(feed.contains("style"));
+    assert!(feed.contains("structure"));
+}
+
+#[test]
+fn cross_document_move_through_editors_updates_lineage() {
+    let tx = Tendax::in_memory().unwrap();
+    let alice = tx.create_user("alice").unwrap();
+    tx.create_document("scratch", alice).unwrap();
+    tx.create_document("final", alice).unwrap();
+    let s = tx.connect("alice", Platform::Linux).unwrap();
+    let mut scratch = s.open("scratch").unwrap();
+    let mut final_doc = s.open("final").unwrap();
+    scratch.type_text(0, "draft paragraph to promote").unwrap();
+
+    scratch.move_text(0, 15, &mut final_doc, 0).unwrap();
+    assert_eq!(final_doc.text(), "draft paragraph");
+    assert_eq!(scratch.text(), " to promote");
+
+    // The move shows up as lineage: final draws from scratch.
+    let g = tx.lineage().unwrap();
+    let scratch_id = tx.textdb().document_by_name("scratch").unwrap();
+    assert!(g
+        .descendants(scratch_id)
+        .iter()
+        .any(|n| n.label() == "final"));
+    // And the moved text's provenance chain points home.
+    let id = final_doc.handle().char_at(0).unwrap();
+    let hops =
+        tendax_core::char_provenance(tx.textdb(), final_doc.doc(), id).unwrap();
+    assert_eq!(hops.last().unwrap().doc_name, "scratch");
+}
+
+#[test]
+fn purge_then_continue_collaborating() {
+    let tx = Tendax::in_memory().unwrap();
+    let alice = tx.create_user("alice").unwrap();
+    tx.create_user("bob").unwrap();
+    tx.create_document("doc", alice).unwrap();
+    let sa = tx.connect("alice", Platform::WindowsXp).unwrap();
+    let sb = tx.connect("bob", Platform::Linux).unwrap();
+    let mut da = sa.open("doc").unwrap();
+    let mut db = sb.open("doc").unwrap();
+
+    da.type_text(0, "some text that will churn").unwrap();
+    da.delete(5, 5).unwrap();
+    db.sync();
+
+    // Admin purges old tombstones mid-session.
+    let doc = da.doc();
+    tx.textdb().purge_tombstones(doc, tx.textdb().now()).unwrap();
+
+    // Both editors keep working (their sessions retry through staleness).
+    da.type_text(0, "A").unwrap();
+    db.type_text(db.len(), "B").unwrap();
+    da.sync();
+    db.sync();
+    assert_eq!(da.text(), db.text());
+    assert!(da.text().starts_with('A'));
+    assert!(da.text().ends_with('B'));
+}

@@ -1,0 +1,219 @@
+//! End-to-end integration tests spanning every TeNDaX crate: the full
+//! demo scenario of the paper, crash recovery mid-collaboration, and
+//! cross-document lineage through the public facade.
+
+use std::path::PathBuf;
+
+use tendax_core::{
+    char_provenance, Assignee, FolderRule, Options, Permission, Platform, Principal, RankBy,
+    SearchQuery, TaskSpec, TaskState, Tendax,
+};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tendax-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The full EDBT demo storyline in one test: collaborative editing +
+/// layout + access rights + undo, workflow, dynamic folders, lineage,
+/// mining, search.
+#[test]
+fn word_processing_lan_party_end_to_end() {
+    let tx = Tendax::in_memory().unwrap();
+    let alice = tx.create_user("alice").unwrap();
+    let bob = tx.create_user("bob").unwrap();
+    tx.create_user("carol").unwrap();
+    let reviewers = tx.textdb().create_role("reviewers").unwrap();
+    tx.textdb().assign_role(bob, reviewers).unwrap();
+
+    let paper = tx.create_document("paper", alice).unwrap();
+    tx.create_document("notes", bob).unwrap();
+
+    // --- Collaborative editing on three platforms -----------------------
+    let sa = tx.connect("alice", Platform::WindowsXp).unwrap();
+    let sb = tx.connect("bob", Platform::Linux).unwrap();
+    let sc = tx.connect("carol", Platform::MacOsX).unwrap();
+    let mut da = sa.open("paper").unwrap();
+    let mut db = sb.open("paper").unwrap();
+    let mut dc = sc.open("paper").unwrap();
+
+    da.type_text(0, "TeNDaX stores text natively. ").unwrap();
+    db.sync();
+    db.type_text(db.len(), "Editing is transactional. ").unwrap();
+    dc.sync();
+    dc.type_text(dc.len(), "Metadata comes for free.").unwrap();
+    da.sync();
+    db.sync();
+    assert_eq!(da.text(), db.text());
+    assert_eq!(
+        da.text(),
+        "TeNDaX stores text natively. Editing is transactional. Metadata comes for free."
+    );
+
+    // Three authors contributed.
+    assert_eq!(da.handle().attribution().len(), 3);
+
+    // --- Layout + undo ----------------------------------------------------
+    let heading = tx.textdb().define_style("heading", "bold", alice).unwrap();
+    da.apply_style(0, 6, heading).unwrap();
+    assert_eq!(da.handle().style_at(0), Some(heading));
+    da.undo().unwrap();
+    assert_eq!(da.handle().style_at(0), Some(tendax_core::StyleId::NONE));
+
+    // Global undo from carol removes her own newest edit.
+    dc.sync();
+    dc.global_undo().unwrap();
+    da.sync();
+    assert_eq!(
+        da.text(),
+        "TeNDaX stores text natively. Editing is transactional. "
+    );
+
+    // --- Access rights ------------------------------------------------------
+    tx.textdb()
+        .set_access(paper, alice, Principal::Role(reviewers), Permission::Write, true)
+        .unwrap();
+    // Carol is not a reviewer: write denied.
+    assert!(dc.type_text(0, "x").is_err());
+    // Bob is: write allowed.
+    db.sync();
+    db.type_text(0, "[rev] ").unwrap();
+
+    // --- Workflow -------------------------------------------------------------
+    let engine = tx.process();
+    let review = engine
+        .define_task(paper, alice, TaskSpec::new("review", Assignee::Role(reviewers)))
+        .unwrap();
+    assert_eq!(engine.inbox(bob).unwrap().len(), 1);
+    engine.complete(review, bob, "looks good").unwrap();
+    assert_eq!(engine.tasks_in_state(paper, TaskState::Done).unwrap().len(), 1);
+
+    // --- Dynamic folder: docs bob read recently --------------------------------
+    let f = tx
+        .folders()
+        .create_folder("bob-recent", bob, FolderRule::ReadBy { user: bob.0, since: 0 })
+        .unwrap();
+    let contents = tx.folders().evaluate(f).unwrap();
+    assert!(contents.contains(&paper));
+
+    // --- Lineage across documents ----------------------------------------------
+    da.sync();
+    let clip = da.copy(6, 10).unwrap();
+    let mut dn = sb.open("notes").unwrap();
+    dn.paste(0, &clip).unwrap();
+    let g = tx.lineage().unwrap();
+    assert!(g
+        .descendants(paper)
+        .iter()
+        .any(|n| n.label() == "notes"));
+
+    // --- Search: content + ranking ----------------------------------------------
+    let search = tx.search().unwrap();
+    let hits = search.search(&SearchQuery::terms("transactional")).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].name, "paper");
+    let cited = search
+        .search(&SearchQuery::terms("").rank_by(RankBy::MostCited))
+        .unwrap();
+    assert_eq!(cited[0].name, "paper");
+
+    // --- Visual mining -------------------------------------------------------------
+    let space = tx.document_space(2).unwrap();
+    assert_eq!(space.points.len(), 2);
+    assert!(space.render_ascii(30, 10).contains("Visual Mining"));
+}
+
+/// Crash in the middle of a collaboration: reopening the WAL restores
+/// every committed keystroke, tombstone, style, task and folder.
+#[test]
+fn crash_recovery_restores_full_state() {
+    let path = tmp("crash.wal");
+    let doc_name = "durable";
+    {
+        let tx = Tendax::open(&path, Options::default()).unwrap();
+        let alice = tx.create_user("alice").unwrap();
+        let bob = tx.create_user("bob").unwrap();
+        let doc = tx.create_document(doc_name, alice).unwrap();
+        let sa = tx.connect("alice", Platform::WindowsXp).unwrap();
+        let mut da = sa.open(doc_name).unwrap();
+        da.type_text(0, "committed before the crash").unwrap();
+        da.delete(0, 10).unwrap();
+        let style = tx.textdb().define_style("em", "italic", alice).unwrap();
+        da.apply_style(0, 3, style).unwrap();
+        tx.process()
+            .define_task(doc, alice, TaskSpec::new("survive", Assignee::User(bob)))
+            .unwrap();
+        tx.folders()
+            .create_folder("mine", alice, FolderRule::CreatedBy { user: alice.0 })
+            .unwrap();
+        // No clean shutdown: the instance is simply dropped.
+    }
+    let tx = Tendax::open(&path, Options::default()).unwrap();
+    let alice = tx.textdb().user_by_name("alice").unwrap();
+    let bob = tx.textdb().user_by_name("bob").unwrap();
+    let doc = tx.textdb().document_by_name(doc_name).unwrap();
+    let h = tx.textdb().open(doc, alice).unwrap();
+    assert_eq!(h.text(), "before the crash");
+    let style = tx.textdb().style_by_name("em").unwrap();
+    assert_eq!(h.style_at(0), Some(style));
+    assert_eq!(tx.process().inbox(bob).unwrap().len(), 1);
+    assert_eq!(tx.folders().folders().unwrap().len(), 1);
+    // Undo still works across the restart (oplog is durable).
+    let mut h = tx.textdb().open(doc, alice).unwrap();
+    h.undo().unwrap(); // undo the style
+    h.undo().unwrap(); // undo the delete
+    assert_eq!(h.text(), "committed before the crash");
+}
+
+/// Checkpoint compaction mid-life does not lose state.
+#[test]
+fn checkpoint_then_continue_editing() {
+    let path = tmp("checkpoint.wal");
+    let tx = Tendax::open(&path, Options::default()).unwrap();
+    let alice = tx.create_user("alice").unwrap();
+    tx.create_document("doc", alice).unwrap();
+    let s = tx.connect("alice", Platform::Linux).unwrap();
+    let mut d = s.open("doc").unwrap();
+    for i in 0..20 {
+        d.type_text(d.len().min(i), "x").unwrap();
+    }
+    tx.textdb().database().checkpoint().unwrap();
+    d.type_text(0, "after-checkpoint ").unwrap();
+    drop(d);
+    drop(s);
+    drop(tx);
+
+    let tx = Tendax::open(&path, Options::default()).unwrap();
+    let alice = tx.textdb().user_by_name("alice").unwrap();
+    let doc = tx.textdb().document_by_name("doc").unwrap();
+    let h = tx.textdb().open(doc, alice).unwrap();
+    assert_eq!(h.len(), 37);
+    assert!(h.text().starts_with("after-checkpoint "));
+}
+
+/// Character-level provenance across three documents through the facade.
+#[test]
+fn provenance_chain_through_facade() {
+    let tx = Tendax::in_memory().unwrap();
+    let u = tx.create_user("u").unwrap();
+    tx.create_document("a", u).unwrap();
+    tx.create_document("b", u).unwrap();
+    tx.create_document("c", u).unwrap();
+    let s = tx.connect("u", Platform::MacOsX).unwrap();
+    let mut da = s.open("a").unwrap();
+    da.type_text(0, "genesis").unwrap();
+    let mut db = s.open("b").unwrap();
+    db.paste(0, &da.copy(0, 7).unwrap()).unwrap();
+    let mut dc = s.open("c").unwrap();
+    dc.paste(0, &db.copy(0, 7).unwrap()).unwrap();
+
+    let c = tx.textdb().document_by_name("c").unwrap();
+    let h = tx.textdb().open(c, u).unwrap();
+    let id = h.char_at(0).unwrap();
+    let hops = char_provenance(tx.textdb(), c, id).unwrap();
+    let names: Vec<&str> = hops.iter().map(|h| h.doc_name.as_str()).collect();
+    assert_eq!(names, vec!["c", "b", "a"]);
+}

@@ -1,0 +1,116 @@
+//! Integration tests for the metadata services working together with the
+//! workflow engine and the editing stack through the public facade.
+
+use tendax_core::{
+    activity_timeline, collaboration_graph, Assignee, FolderRule, Permission, Platform,
+    Principal, SearchQuery, Tendax, TaskSpec,
+};
+
+#[test]
+fn has_open_tasks_folder_tracks_workflow() {
+    let tx = Tendax::in_memory().unwrap();
+    let alice = tx.create_user("alice").unwrap();
+    let bob = tx.create_user("bob").unwrap();
+    let d1 = tx.create_document("with-task", alice).unwrap();
+    let _d2 = tx.create_document("without-task", alice).unwrap();
+
+    let task = tx
+        .process()
+        .define_task(d1, alice, TaskSpec::new("review", Assignee::User(bob)))
+        .unwrap();
+    let f = tx
+        .folders()
+        .create_folder("needs-work", alice, FolderRule::HasOpenTasks)
+        .unwrap();
+    let mut watch = tx.folders().watch(f).unwrap();
+    assert_eq!(watch.contents(), &[d1]);
+
+    // Completing the task empties the folder "within seconds".
+    tx.process().complete(task, bob, "done").unwrap();
+    let changes = watch.refresh().unwrap();
+    assert_eq!(changes.len(), 1);
+    assert!(watch.contents().is_empty());
+}
+
+#[test]
+fn templates_through_the_facade() {
+    let tx = Tendax::in_memory().unwrap();
+    let alice = tx.create_user("alice").unwrap();
+    tx.textdb()
+        .define_template(
+            "meeting-minutes",
+            alice,
+            "Minutes\n\nAttendees:\n\nDecisions:",
+            &[("heading1", 0, 7), ("heading2", 9, 10), ("heading2", 21, 10)],
+        )
+        .unwrap();
+    let doc = tx
+        .textdb()
+        .create_document_from_template("2026-07-06", alice, "meeting-minutes")
+        .unwrap();
+    let h = tx.textdb().open(doc, alice).unwrap();
+    assert!(h.text().starts_with("Minutes"));
+    assert_eq!(h.structures().unwrap().len(), 3);
+    // Templated documents participate in search immediately.
+    let hits = tx
+        .search()
+        .unwrap()
+        .search(&SearchQuery::terms("attendees"))
+        .unwrap();
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
+fn range_protection_between_real_editors() {
+    let tx = Tendax::in_memory().unwrap();
+    let alice = tx.create_user("alice").unwrap();
+    tx.create_user("bob").unwrap();
+    tx.create_document("contract", alice).unwrap();
+
+    let sa = tx.connect("alice", Platform::WindowsXp).unwrap();
+    let sb = tx.connect("bob", Platform::Linux).unwrap();
+    let mut da = sa.open("contract").unwrap();
+    da.type_text(0, "FINAL CLAUSE. negotiable part").unwrap();
+
+    // Alice locks the final clause for everyone else.
+    let (_, _) = da
+        .with_handle("protect", |h| {
+            h.protect_range(0, 13, Principal::All, Permission::Write)?;
+            Ok((
+                (),
+                tendax_core::EditReceipt {
+                    op: tendax_core::OpId::NONE,
+                    commit_ts: 0,
+                    effects: vec![],
+                },
+            ))
+        })
+        .unwrap();
+
+    let mut db = sb.open("contract").unwrap();
+    // Bob cannot touch the locked span…
+    assert!(db.delete(0, 5).is_err());
+    // …but can edit the negotiable part.
+    db.type_text(29, " (v2)").unwrap();
+    da.sync();
+    assert!(da.text().ends_with("(v2)"));
+}
+
+#[test]
+fn mining_dimensions_over_a_real_corpus() {
+    let tx = Tendax::in_memory().unwrap();
+    let alice = tx.create_user("alice").unwrap();
+    let bob = tx.create_user("bob").unwrap();
+    let doc = tx.create_document("shared", alice).unwrap();
+    let mut ha = tx.textdb().open(doc, alice).unwrap();
+    ha.insert_text(0, "alice wrote this ").unwrap();
+    let mut hb = tx.textdb().open(doc, bob).unwrap();
+    hb.insert_text(0, "bob too ").unwrap();
+
+    let graph = collaboration_graph(tx.textdb()).unwrap();
+    assert_eq!(graph.len(), 1);
+    assert_eq!((graph[0].0, graph[0].1), (alice, bob));
+
+    let timeline = activity_timeline(tx.textdb(), doc, 5).unwrap();
+    assert_eq!(timeline.iter().sum::<usize>(), 2);
+}
