@@ -1,0 +1,124 @@
+//! Group-commit throughput: concurrent committers at `Fsync`, group
+//! commit versus flush-per-commit.
+//!
+//! Not a criterion bench: each measurement needs its own database, its
+//! own thread pool, and wall-clock long enough to amortize thread
+//! startup, so this is a plain `main` that prints a table. Run with:
+//!
+//! ```text
+//! cargo bench -p tendax-bench --bench commit_throughput
+//! ```
+//!
+//! Pass `--test` (as criterion benches accept) for a quick smoke run.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tendax_storage::{
+    DataType, Database, DurabilityLevel, Options, Row, TableDef, Value,
+};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tendax-commit-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+struct Outcome {
+    ops_per_sec: f64,
+    mean_batch: f64,
+    fsyncs_saved: u64,
+}
+
+/// `threads` committers, each committing `ops` single-row inserts with
+/// disjoint write-sets; returns aggregate throughput and batch shape.
+fn run(name: &str, group_commit: bool, threads: u64, ops: i64) -> Outcome {
+    let path = tmp(name);
+    let db = Database::open(
+        &path,
+        Options {
+            durability: DurabilityLevel::Fsync,
+            group_commit,
+            ..Options::default()
+        },
+    )
+    .expect("open");
+    let t = db
+        .create_table(
+            TableDef::new("t")
+                .column("writer", DataType::Id)
+                .column("seq", DataType::Int),
+        )
+        .expect("table");
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..threads {
+        let db = db.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..ops {
+                let mut txn = db.begin();
+                txn.insert(t, Row::new(vec![Value::Id(w), Value::Int(i)]))
+                    .expect("insert");
+                txn.commit().expect("commit");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("writer");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = db.stats();
+    let commits = (threads * ops as u64) as f64;
+    Outcome {
+        ops_per_sec: commits / elapsed,
+        mean_batch: if stats.wal_batches_flushed == 0 {
+            0.0
+        } else {
+            stats.wal_records_flushed as f64 / stats.wal_batches_flushed as f64
+        },
+        fsyncs_saved: stats.wal_fsyncs_saved,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let ops: i64 = if quick { 5 } else { 200 };
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>10}",
+        "config", "commits/s", "mean batch", "fsyncs saved", "speedup"
+    );
+    for &threads in &[1u64, 4, 8] {
+        let base = run(
+            &format!("base-{threads}.wal"),
+            false,
+            threads,
+            ops,
+        );
+        let group = run(
+            &format!("group-{threads}.wal"),
+            true,
+            threads,
+            ops,
+        );
+        println!(
+            "{:<28} {:>12.0} {:>12.2} {:>12} {:>10}",
+            format!("fsync/commit    x{threads}"),
+            base.ops_per_sec,
+            base.mean_batch,
+            base.fsyncs_saved,
+            "1.00x"
+        );
+        println!(
+            "{:<28} {:>12.0} {:>12.2} {:>12} {:>9.2}x",
+            format!("group commit    x{threads}"),
+            group.ops_per_sec,
+            group.mean_batch,
+            group.fsyncs_saved,
+            group.ops_per_sec / base.ops_per_sec
+        );
+    }
+}

@@ -118,6 +118,20 @@ pub struct EditorStats {
     pub events_reordered: u64,
 }
 
+/// A caller-supplied position snapshotted against the local view, so it
+/// can be re-resolved after remote edits land (see
+/// [`EditorDoc::perform_at`]).
+#[derive(Debug, Clone, Copy)]
+enum PosAnchor {
+    /// Position 0: always the document start.
+    Start,
+    /// After this character, with the original position as a fallback if
+    /// the anchor is purged from the chain.
+    After(tendax_text::CharId, usize),
+    /// Out of range when captured; passed through untransformed.
+    Raw(usize),
+}
+
 /// A document open in an editor session.
 #[derive(Debug)]
 pub struct EditorDoc {
@@ -226,11 +240,9 @@ impl EditorDoc {
         }
         // Unresolvable holes (dependency will never arrive on this
         // subscription): resynchronize from the database.
-        if self.reorder.len() > 64 {
-            if self.handle.refresh().is_ok() {
-                applied += self.reorder.len();
-                self.reorder.clear();
-            }
+        if self.reorder.len() > 64 && self.handle.refresh().is_ok() {
+            applied += self.reorder.len();
+            self.reorder.clear();
         }
         if applied > 0 {
             self.reanchor_cursor();
@@ -291,21 +303,25 @@ impl EditorDoc {
 
     /// Type text at `pos`, retrying transparently on commit races.
     ///
-    /// `pos` is interpreted against the view *after* the pre-edit sync —
-    /// remote edits may have moved things. A position that no longer
-    /// exists yields [`TextError::InvalidPosition`] (a real editor maps
-    /// its cursor through remote changes before calling this).
+    /// `pos` is interpreted against the caller's view at the moment of
+    /// the call: it is anchored to the character it follows before the
+    /// pre-edit sync runs, so concurrent remote edits move the insertion
+    /// point with the text instead of shifting it by raw index. A
+    /// position beyond the current view yields
+    /// [`TextError::InvalidPosition`].
     pub fn type_text(&mut self, pos: usize, text: &str) -> Result<EditReceipt> {
         let owned = text.to_owned();
-        let receipt = self.perform("insert", move |h| h.insert_text(pos, &owned))?;
-        self.set_cursor(pos + text.chars().count());
+        let (at, receipt) =
+            self.perform_at("insert", pos, move |h, p| h.insert_text(p, &owned))?;
+        self.set_cursor(at + text.chars().count());
         Ok(receipt)
     }
 
-    /// Delete a range, retrying transparently on commit races.
+    /// Delete a range, retrying transparently on commit races. The start
+    /// position is anchored like [`EditorDoc::type_text`]'s.
     pub fn delete(&mut self, pos: usize, len: usize) -> Result<EditReceipt> {
-        let receipt = self.perform("delete", move |h| h.delete_range(pos, len))?;
-        self.set_cursor(pos);
+        let (at, receipt) = self.perform_at("delete", pos, move |h, p| h.delete_range(p, len))?;
+        self.set_cursor(at);
         Ok(receipt)
     }
 
@@ -315,7 +331,8 @@ impl EditorDoc {
 
     pub fn paste(&mut self, pos: usize, clip: &Clip) -> Result<EditReceipt> {
         let clip = clip.clone();
-        self.perform("paste", move |h| h.paste(pos, &clip))
+        self.perform_at("paste", pos, move |h, p| h.paste(p, &clip))
+            .map(|(_, receipt)| receipt)
     }
 
     pub fn paste_external(
@@ -325,11 +342,13 @@ impl EditorDoc {
         source: &str,
     ) -> Result<EditReceipt> {
         let (text, source) = (text.to_owned(), source.to_owned());
-        self.perform("paste", move |h| h.paste_external(pos, &text, &source))
+        self.perform_at("paste", pos, move |h, p| h.paste_external(p, &text, &source))
+            .map(|(_, receipt)| receipt)
     }
 
     pub fn apply_style(&mut self, pos: usize, len: usize, style: StyleId) -> Result<EditReceipt> {
-        self.perform("style", move |h| h.apply_style(pos, len, style))
+        self.perform_at("style", pos, move |h, p| h.apply_style(p, len, style))
+            .map(|(_, receipt)| receipt)
     }
 
     /// Atomically move text into another open document (one database
@@ -437,6 +456,70 @@ impl EditorDoc {
             }
         }
         Err(last.expect("retry loop ran"))
+    }
+
+    /// Like [`EditorDoc::perform`], but for operations addressed by a
+    /// visible position. The position is captured as a character anchor
+    /// *before* the pre-edit sync and re-resolved against the local view
+    /// on every attempt, so remote edits applied by the sync (or by the
+    /// retry refreshes) move the operation with the text the caller was
+    /// pointing at. Returns the position the operation finally ran at.
+    fn perform_at(
+        &mut self,
+        kind: &str,
+        pos: usize,
+        mut f: impl FnMut(&mut DocHandle, usize) -> Result<EditReceipt>,
+    ) -> Result<(usize, EditReceipt)> {
+        let anchor = self.capture_anchor(pos);
+        self.sync();
+        let mut last: Option<TextError> = None;
+        for attempt in 0..EDIT_RETRIES {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                self.sync();
+                self.handle.refresh()?;
+            }
+            let at = self.resolve_anchor(&anchor);
+            match f(&mut self.handle, at) {
+                Ok(receipt) => {
+                    self.stats.ops += 1;
+                    self.publish(kind, &receipt);
+                    return Ok((at, receipt));
+                }
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("retry loop ran"))
+    }
+
+    /// Snapshot `pos` as an anchor in the current local view.
+    fn capture_anchor(&self, pos: usize) -> PosAnchor {
+        if pos == 0 {
+            PosAnchor::Start
+        } else {
+            match self.handle.char_at(pos - 1) {
+                Some(id) => PosAnchor::After(id, pos),
+                // Beyond the caller's view: pass through unchanged so the
+                // handle reports `InvalidPosition` exactly as it would
+                // have without anchoring.
+                None => PosAnchor::Raw(pos),
+            }
+        }
+    }
+
+    /// Map a captured anchor back to a position in the current view.
+    fn resolve_anchor(&self, anchor: &PosAnchor) -> usize {
+        match *anchor {
+            PosAnchor::Start => 0,
+            PosAnchor::After(id, fallback) => self
+                .handle
+                .caret_after(id)
+                // Anchor purged from the chain entirely: clamp, the same
+                // recovery the cursor uses.
+                .unwrap_or_else(|| fallback.min(self.handle.len())),
+            PosAnchor::Raw(pos) => pos,
+        }
     }
 
     fn publish(&self, kind: &str, receipt: &EditReceipt) {

@@ -6,12 +6,12 @@
 //! against the live metadata tables, and [`FolderSet`] tracks membership
 //! deltas between refreshes.
 
-use serde::{Deserialize, Serialize};
+use crate::json;
 use tendax_storage::{DataType, Predicate, Row, StorageError, TableDef, TableId, Value};
 use tendax_text::{DocId, Result, TextDb, TextError, UserId};
 
 /// The predicate language of dynamic folders.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FolderRule {
     /// Documents `user` has read at or after the given engine timestamp.
     ReadBy { user: u64, since: i64 },
@@ -40,6 +40,144 @@ pub enum FolderRule {
 }
 
 impl FolderRule {
+    /// Encode as JSON in the externally-tagged layout (`{"Variant":
+    /// {...}}`, bare string for unit variants) that stored rules have
+    /// always used.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            FolderRule::ReadBy { user, since } => {
+                let _ = write!(out, "{{\"ReadBy\":{{\"user\":{user},\"since\":{since}}}}}");
+            }
+            FolderRule::AuthoredBy { user } => {
+                let _ = write!(out, "{{\"AuthoredBy\":{{\"user\":{user}}}}}");
+            }
+            FolderRule::CreatedBy { user } => {
+                let _ = write!(out, "{{\"CreatedBy\":{{\"user\":{user}}}}}");
+            }
+            FolderRule::StateIs(s) => {
+                out.push_str("{\"StateIs\":");
+                json::write_str(out, s);
+                out.push('}');
+            }
+            FolderRule::NameContains(s) => {
+                out.push_str("{\"NameContains\":");
+                json::write_str(out, s);
+                out.push('}');
+            }
+            FolderRule::ContentContains(s) => {
+                out.push_str("{\"ContentContains\":");
+                json::write_str(out, s);
+                out.push('}');
+            }
+            FolderRule::PastedFrom { doc } => {
+                let _ = write!(out, "{{\"PastedFrom\":{{\"doc\":{doc}}}}}");
+            }
+            FolderRule::EditedSince(ts) => {
+                let _ = write!(out, "{{\"EditedSince\":{ts}}}");
+            }
+            FolderRule::MinSize(n) => {
+                let _ = write!(out, "{{\"MinSize\":{n}}}");
+            }
+            FolderRule::HasOpenTasks => out.push_str("\"HasOpenTasks\""),
+            FolderRule::All(rules) | FolderRule::Any(rules) => {
+                let tag = if matches!(self, FolderRule::All(_)) {
+                    "All"
+                } else {
+                    "Any"
+                };
+                let _ = write!(out, "{{\"{tag}\":[");
+                for (i, r) in rules.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    r.write_json(out);
+                }
+                out.push_str("]}");
+            }
+            FolderRule::Not(inner) => {
+                out.push_str("{\"Not\":");
+                inner.write_json(out);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Decode a rule previously produced by [`FolderRule::to_json`].
+    pub fn from_json(text: &str) -> std::result::Result<FolderRule, String> {
+        let value = json::parse(text)?;
+        Self::from_value(&value)
+    }
+
+    fn from_value(value: &json::Json) -> std::result::Result<FolderRule, String> {
+        if let Some(tag) = value.as_str() {
+            return match tag {
+                "HasOpenTasks" => Ok(FolderRule::HasOpenTasks),
+                other => Err(format!("unknown unit rule `{other}`")),
+            };
+        }
+        let (tag, payload) = value
+            .as_tagged()
+            .ok_or_else(|| "rule must be a tagged object or unit string".to_string())?;
+        let field_u64 = |name: &str| {
+            payload
+                .get(name)
+                .and_then(json::Json::as_u64)
+                .ok_or_else(|| format!("`{tag}` needs numeric field `{name}`"))
+        };
+        let as_string = || {
+            payload
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("`{tag}` needs a string payload"))
+        };
+        let as_rules = || -> std::result::Result<Vec<FolderRule>, String> {
+            payload
+                .as_arr()
+                .ok_or_else(|| format!("`{tag}` needs an array payload"))?
+                .iter()
+                .map(Self::from_value)
+                .collect()
+        };
+        match tag {
+            "ReadBy" => Ok(FolderRule::ReadBy {
+                user: field_u64("user")?,
+                since: payload
+                    .get("since")
+                    .and_then(json::Json::as_i64)
+                    .ok_or("`ReadBy` needs numeric field `since`")?,
+            }),
+            "AuthoredBy" => Ok(FolderRule::AuthoredBy {
+                user: field_u64("user")?,
+            }),
+            "CreatedBy" => Ok(FolderRule::CreatedBy {
+                user: field_u64("user")?,
+            }),
+            "StateIs" => Ok(FolderRule::StateIs(as_string()?)),
+            "NameContains" => Ok(FolderRule::NameContains(as_string()?)),
+            "ContentContains" => Ok(FolderRule::ContentContains(as_string()?)),
+            "PastedFrom" => Ok(FolderRule::PastedFrom {
+                doc: field_u64("doc")?,
+            }),
+            "EditedSince" => Ok(FolderRule::EditedSince(
+                payload.as_i64().ok_or("`EditedSince` needs a number")?,
+            )),
+            "MinSize" => Ok(FolderRule::MinSize(
+                payload.as_usize().ok_or("`MinSize` needs a number")?,
+            )),
+            "Not" => Ok(FolderRule::Not(Box::new(Self::from_value(payload)?))),
+            "All" => Ok(FolderRule::All(as_rules()?)),
+            "Any" => Ok(FolderRule::Any(as_rules()?)),
+            other => Err(format!("unknown rule tag `{other}`")),
+        }
+    }
+
     pub fn and(self, other: FolderRule) -> FolderRule {
         match self {
             FolderRule::All(mut v) => {
@@ -107,8 +245,7 @@ impl DynamicFolders {
 
     /// Persist a folder definition.
     pub fn create_folder(&self, name: &str, owner: UserId, rule: FolderRule) -> Result<FolderId> {
-        let encoded = serde_json::to_string(&rule)
-            .map_err(|e| TextError::ChainCorrupt(format!("rule encoding failed: {e}")))?;
+        let encoded = rule.to_json();
         let mut txn = self.tdb.database().begin();
         let rid = txn.insert(
             self.table,
@@ -138,7 +275,7 @@ impl DynamicFolders {
         let mut out = Vec::new();
         for (rid, row) in txn.scan(self.table, &Predicate::True)? {
             let rule_text = row.get(2).and_then(|v| v.as_text()).unwrap_or("");
-            let rule: FolderRule = serde_json::from_str(rule_text)
+            let rule = FolderRule::from_json(rule_text)
                 .map_err(|e| TextError::ChainCorrupt(format!("bad stored rule: {e}")))?;
             out.push(Folder {
                 id: FolderId(rid.0),

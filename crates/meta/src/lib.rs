@@ -13,6 +13,7 @@
 //!   Figure 2) and text mining (characteristic terms).
 
 pub mod folders;
+pub mod json;
 pub mod lineage;
 pub mod mining;
 pub mod report;

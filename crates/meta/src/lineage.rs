@@ -7,13 +7,15 @@
 //! (character-level provenance chains).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
 
-use serde::Serialize;
 use tendax_storage::Predicate;
 use tendax_text::{CharId, DocId, Result, TextDb, UserId};
 
+use crate::json;
+
 /// A lineage node: a TeNDaX document or an external source.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LineageNode {
     Document { doc: u64, name: String },
     External { source: String },
@@ -29,7 +31,7 @@ impl LineageNode {
 }
 
 /// An aggregated copy-paste edge between two nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineageEdge {
     pub from: LineageNode,
     pub to: LineageNode,
@@ -40,7 +42,7 @@ pub struct LineageEdge {
 }
 
 /// The document provenance graph.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LineageGraph {
     pub nodes: Vec<LineageNode>,
     pub edges: Vec<LineageEdge>,
@@ -248,7 +250,43 @@ impl LineageGraph {
 
     /// JSON export (bench harness artifact).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("lineage graph serializes")
+        fn node(out: &mut String, n: &LineageNode) {
+            match n {
+                LineageNode::Document { doc, name } => {
+                    out.push_str("{\"Document\":{\"doc\":");
+                    out.push_str(&doc.to_string());
+                    out.push_str(",\"name\":");
+                    json::write_str(out, name);
+                    out.push_str("}}");
+                }
+                LineageNode::External { source } => {
+                    out.push_str("{\"External\":{\"source\":");
+                    json::write_str(out, source);
+                    out.push_str("}}");
+                }
+            }
+        }
+        let mut out = String::from("{\n  \"nodes\": [");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            node(&mut out, n);
+        }
+        out.push_str("\n  ],\n  \"edges\": [");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"from\":");
+            node(&mut out, &e.from);
+            out.push_str(",\"to\":");
+            node(&mut out, &e.to);
+            let _ = write!(out, ",\"chars\":{},\"events\":{}}}", e.chars, e.events);
+        }
+        out.push_str("\n  ]\n}");
+        out
     }
 }
 

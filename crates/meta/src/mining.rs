@@ -9,9 +9,11 @@
 //! ASCII scatter plot stands in for the GUI canvas. Text mining surfaces
 //! each document's characteristic terms by tf-idf.
 
-use serde::Serialize;
+use std::fmt::Write as _;
+
 use tendax_text::{DocId, Result, TextDb};
 
+use crate::json;
 use crate::search::{tokenize, InvertedIndex};
 
 /// Metadata dimensions of the document space, in feature-vector order.
@@ -27,7 +29,7 @@ pub const FEATURE_NAMES: [&str; 8] = [
 ];
 
 /// One document's raw feature vector.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DocFeatures {
     pub doc: u64,
     pub name: String,
@@ -205,7 +207,7 @@ fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
 }
 
 /// One document placed in the visual document space.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpacePoint {
     pub doc: u64,
     pub name: String,
@@ -215,7 +217,7 @@ pub struct SpacePoint {
 }
 
 /// The 2-D document-space layout (Figure 2 analogue).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DocumentSpace {
     pub points: Vec<SpacePoint>,
     pub clusters: usize,
@@ -283,7 +285,21 @@ impl DocumentSpace {
     }
 
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("space serializes")
+        let mut out = String::from("{\n  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {{\"doc\":{},\"name\":", p.doc);
+            json::write_str(&mut out, &p.name);
+            out.push_str(",\"x\":");
+            json::write_f64(&mut out, p.x);
+            out.push_str(",\"y\":");
+            json::write_f64(&mut out, p.y);
+            let _ = write!(out, ",\"cluster\":{}}}", p.cluster);
+        }
+        let _ = write!(out, "\n  ],\n  \"clusters\": {}\n}}", self.clusters);
+        out
     }
 }
 

@@ -6,12 +6,15 @@
 //! cited and most read documents, and per-user activity, all computed
 //! with the engine's aggregation layer.
 
-use serde::Serialize;
+use std::fmt::Write as _;
+
 use tendax_storage::{Aggregate, Predicate};
 use tendax_text::{DocId, Result, TextDb, UserId};
 
+use crate::json;
+
 /// One document line in the report.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DocLine {
     pub doc: u64,
     pub name: String,
@@ -24,7 +27,7 @@ pub struct DocLine {
 }
 
 /// The assembled workspace report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkspaceReport {
     pub documents: Vec<DocLine>,
     /// `(op kind, count)` across the whole workspace, most frequent first.
@@ -144,7 +147,41 @@ impl WorkspaceReport {
     }
 
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        let mut out = String::from("{\n  \"documents\": [");
+        for (i, d) in self.documents.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {{\"doc\":{},\"name\":", d.doc);
+            json::write_str(&mut out, &d.name);
+            out.push_str(",\"state\":");
+            json::write_str(&mut out, &d.state);
+            let _ = write!(
+                out,
+                ",\"size\":{},\"authors\":{},\"readers\":{},\"ops\":{},\"cited_by\":{}}}",
+                d.size, d.authors, d.readers, d.ops, d.cited_by
+            );
+        }
+        let pairs = |out: &mut String, items: &[(String, i64)]| {
+            for (i, (name, count)) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    [");
+                json::write_str(out, name);
+                let _ = write!(out, ",{count}]");
+            }
+        };
+        out.push_str("\n  ],\n  \"op_mix\": [");
+        pairs(&mut out, &self.op_mix);
+        out.push_str("\n  ],\n  \"user_activity\": [");
+        pairs(&mut out, &self.user_activity);
+        let _ = write!(
+            out,
+            "\n  ],\n  \"total_chars\": {},\n  \"total_tuples\": {}\n}}",
+            self.total_chars, self.total_tuples
+        );
+        out
     }
 }
 

@@ -45,6 +45,10 @@ pub enum StorageError {
     TxnClosed(TxnId),
     /// The write-ahead log contained a corrupt record.
     WalCorrupt { offset: u64, reason: String },
+    /// A WAL flush failed after the transaction's versions were already
+    /// published; the log is poisoned and the database rejects further
+    /// writes. The committed-in-memory state may not be durable.
+    WalUnavailable(String),
     /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
     Io(String),
     /// Catch-all for invariant violations that indicate a bug.
@@ -92,6 +96,9 @@ impl fmt::Display for StorageError {
             StorageError::TxnClosed(id) => write!(f, "transaction {id:?} is already closed"),
             StorageError::WalCorrupt { offset, reason } => {
                 write!(f, "WAL corrupt at offset {offset}: {reason}")
+            }
+            StorageError::WalUnavailable(msg) => {
+                write!(f, "WAL unavailable (flush failed, log poisoned): {msg}")
             }
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
             StorageError::Internal(msg) => write!(f, "internal error: {msg}"),

@@ -66,4 +66,4 @@ pub use schema::{ColumnDef, IndexDef, TableDef, TableId};
 pub use table::{Ts, TS_LATEST};
 pub use txn::{Transaction, TxnId};
 pub use value::{DataType, Value};
-pub use wal::DurabilityLevel;
+pub use wal::{DurabilityLevel, WalStats};

@@ -1,13 +1,10 @@
 //! Rows and row identifiers.
 
-use serde::{Deserialize, Serialize};
 
 use crate::value::Value;
 
 /// Stable identifier of a row within one table. Never reused.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RowId(pub u64);
 
 impl RowId {
@@ -23,7 +20,7 @@ impl std::fmt::Display for RowId {
 }
 
 /// A materialized row: the values in schema column order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     values: Vec<Value>,
 }

@@ -2,17 +2,16 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, StorageError};
 use crate::value::{DataType, Value};
 
 /// Stable identifier of a table within a database.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TableId(pub u32);
 
 /// A column declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
     pub name: String,
     pub ty: DataType,
@@ -35,7 +34,7 @@ impl ColumnDef {
 }
 
 /// A secondary index over one or more columns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexDef {
     pub name: String,
     /// Column positions (into [`TableDef::columns`]) forming the key.
@@ -44,7 +43,7 @@ pub struct IndexDef {
 }
 
 /// A table declaration: columns plus secondary indexes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableDef {
     pub name: String,
     pub columns: Vec<ColumnDef>,

@@ -14,7 +14,6 @@
 use std::collections::{BTreeMap, HashSet};
 use std::ops::Bound;
 
-use serde::{Deserialize, Serialize};
 
 use crate::db::Database;
 use crate::error::{Result, StorageError};
@@ -26,7 +25,7 @@ use crate::table::{TableStore, Ts};
 use crate::value::Value;
 
 /// Transaction identifier (unique per database instance lifetime).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
 /// A buffered, not-yet-committed write.
@@ -59,6 +58,10 @@ pub struct Transaction {
     pub(crate) writes: BTreeMap<TableId, BTreeMap<RowId, WriteOp>>,
     /// Rows this transaction itself inserted (they cannot conflict).
     pub(crate) created: HashSet<(TableId, RowId)>,
+    /// Set by `commit_txn` once versions are visible to other snapshots.
+    /// A durability failure after this point is not an abort: the commit
+    /// happened, it just may not survive a crash.
+    pub(crate) published: bool,
     state: TxnState,
 }
 
@@ -70,6 +73,7 @@ impl Transaction {
             snapshot,
             writes: BTreeMap::new(),
             created: HashSet::new(),
+            published: false,
             state: TxnState::Active,
         }
     }
@@ -452,6 +456,10 @@ impl Transaction {
         let result = self.db.clone().commit_txn(&mut self);
         match &result {
             Ok(_) => self.state = TxnState::Committed,
+            // A post-publication durability failure is still a commit:
+            // the versions are visible and commit_txn finished the
+            // bookkeeping before waiting on the disk.
+            Err(_) if self.published => self.state = TxnState::Committed,
             Err(_) => {
                 self.state = TxnState::Aborted;
                 self.db.clone().abort_txn(self.id, true); // failed commit is an abort

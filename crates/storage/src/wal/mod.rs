@@ -7,8 +7,10 @@
 //! than treated as corruption.
 
 pub mod codec;
+mod group;
 mod log;
 
+pub use group::{GroupWal, WalStats, WalTicket};
 pub use log::{WalFile, WalIter};
 
 use crate::row::RowId;

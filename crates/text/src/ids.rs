@@ -5,15 +5,12 @@
 //! time. `0` is reserved as "none" for nullable references stored in the
 //! database.
 
-use serde::{Deserialize, Serialize};
 use tendax_storage::{RowId, Value};
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u64);
 
         impl $name {

@@ -12,7 +12,6 @@
 //! rows (consumed by undo/redo) and, for pastes, a `paste_events` row
 //! (consumed by data lineage).
 
-use serde::{Deserialize, Serialize};
 use tendax_storage::{Row, Transaction, Ts, Value};
 
 use crate::document::{CharInfo, DocHandle};
@@ -34,7 +33,7 @@ pub const EDIT_KINDS: [&str; 8] = [
 
 /// A committed operation's observable effect, used for undo bookkeeping,
 /// editor cache maintenance, and collaboration broadcast.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Effect {
     Insert {
         char: CharId,

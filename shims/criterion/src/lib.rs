@@ -1,0 +1,348 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness.
+//!
+//! Supports the subset this workspace's `harness = false` benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/`finish`,
+//! `BenchmarkId`, `Bencher::{iter, iter_batched}`, `BatchSize`, and
+//! `Throughput`. No statistics beyond mean-of-samples, no HTML reports.
+//!
+//! When invoked with `--test` (as `cargo test` does for bench targets)
+//! every benchmark body runs exactly once, as a smoke test. Positional
+//! command-line arguments act as substring filters on the full
+//! `group/benchmark` id, mirroring `cargo bench -- <filter>`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state, one per bench binary.
+pub struct Criterion {
+    quick: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut quick = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                quick = true;
+            } else if !arg.starts_with('-') {
+                filters.push(arg);
+            }
+            // Other flags (--bench, --nocapture, ...) are accepted and ignored.
+        }
+        Criterion { quick, filters }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+}
+
+/// Units processed per iteration, for per-second reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim treats all variants the
+/// same (setup is simply untimed).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            quick: self.criterion.quick,
+            sample_size: self.sample_size,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(&full, &bencher, self.throughput);
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{id:<60} (no measurement)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!("{id:<60} {} /iter ({} iters)", fmt_ns(per_iter), b.iters);
+    if per_iter > 0.0 {
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 * 1e9 / per_iter;
+                line.push_str(&format!("  {rate:.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 * 1e9 / per_iter;
+                line.push_str(&format!("  {:.1} MiB/s", rate / (1024.0 * 1024.0)));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to benchmark closures; `iter`/`iter_batched` record timing.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Per-benchmark wall-clock budget in full mode; iteration stops at the
+/// budget or at `sample_size * 100` iterations, whichever comes first
+/// (always completing at least `sample_size` iterations).
+const TIME_BUDGET: Duration = Duration::from_millis(40);
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up, untimed
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            self.record(1, start.elapsed());
+            return;
+        }
+        let max_iters = (self.sample_size as u64) * 100;
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while iters < max_iters && (iters < self.sample_size as u64 || total < TIME_BUDGET) {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.record(iters, total);
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up, untimed
+        if self.quick {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.record(1, start.elapsed());
+            return;
+        }
+        let max_iters = (self.sample_size as u64) * 100;
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while iters < max_iters && (iters < self.sample_size as u64 || total < TIME_BUDGET) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.record(iters, total);
+    }
+
+    fn record(&mut self, iters: u64, elapsed: Duration) {
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion {
+            quick: false,
+            filters: Vec::new(),
+        };
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(5);
+        let mut count = 0u64;
+        group.bench_function("counter", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        group.finish();
+        assert!(count >= 5, "at least sample_size iterations, got {count}");
+    }
+
+    #[test]
+    fn filters_skip_nonmatching_benches() {
+        let mut c = Criterion {
+            quick: true,
+            filters: vec!["match_me".into()],
+        };
+        let mut group = c.benchmark_group("grp");
+        let mut ran_skipped = false;
+        let mut ran_matched = false;
+        group.bench_function("other", |b| {
+            ran_skipped = true;
+            b.iter(|| ())
+        });
+        group.bench_function("match_me", |b| {
+            ran_matched = true;
+            b.iter(|| ())
+        });
+        group.finish();
+        assert!(!ran_skipped);
+        assert!(ran_matched);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion {
+            quick: true,
+            filters: Vec::new(),
+        };
+        let mut group = c.benchmark_group("grp");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}
