@@ -52,6 +52,15 @@ pub struct Stats {
     pub wal_records_flushed: u64,
     /// At `Fsync`, syncs avoided versus one-fsync-per-commit.
     pub wal_fsyncs_saved: u64,
+    /// Visible rows examined by scans (matching + skipped).
+    pub rows_scanned: u64,
+    /// Scanned rows rejected by a pushed-down predicate (never
+    /// materialized into a result set).
+    pub rows_skipped_by_predicate: u64,
+    /// `Transaction::get` calls.
+    pub point_gets: u64,
+    /// Index lookups/range scans/cursor steps.
+    pub index_lookups: u64,
 }
 
 /// Per-table statistics (monitoring, planner diagnostics).
@@ -71,6 +80,10 @@ struct Counters {
     commits: AtomicU64,
     aborts: AtomicU64,
     conflicts: AtomicU64,
+    rows_scanned: AtomicU64,
+    rows_skipped: AtomicU64,
+    point_gets: AtomicU64,
+    index_lookups: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -172,9 +185,9 @@ impl Database {
                             .get(&w.table)
                             .ok_or(StorageError::UnknownTableId(w.table))?;
                         let op = match w.op {
-                            WalOp::Put(values) => {
-                                self.observe_row_clock(&values);
-                                VersionOp::Put(values.into())
+                            WalOp::Put(row) => {
+                                self.observe_row_clock(row.values());
+                                VersionOp::Put(row)
                             }
                             WalOp::Delete => VersionOp::Delete,
                         };
@@ -192,9 +205,9 @@ impl Database {
                         .get(&table)
                         .ok_or(StorageError::UnknownTableId(table))?;
                     let op = match op {
-                        WalOp::Put(values) => {
-                            self.observe_row_clock(&values);
-                            VersionOp::Put(values.into())
+                        WalOp::Put(r) => {
+                            self.observe_row_clock(r.values());
+                            VersionOp::Put(r)
                         }
                         WalOp::Delete => VersionOp::Delete,
                     };
@@ -338,7 +351,9 @@ impl Database {
         // WAL enqueue before publication: if staging fails (e.g. the log
         // is poisoned), nothing became visible and the transaction
         // aborts cleanly. Enqueueing under the commit lock keeps the log
-        // in commit-timestamp order.
+        // in commit-timestamp order. The WAL record and the published
+        // version share the buffered row's allocation: a written row is
+        // never copied again after the client handed it to `insert`.
         let wal_writes: Vec<WalWrite> = writes
             .iter()
             .flat_map(|(&table, ws)| {
@@ -346,7 +361,7 @@ impl Database {
                     table,
                     row,
                     op: match op {
-                        WriteOp::Put(r) => WalOp::Put(r.values().to_vec()),
+                        WriteOp::Put(r) => WalOp::Put(r.clone()),
                         WriteOp::Delete => WalOp::Delete,
                     },
                 })
@@ -362,6 +377,7 @@ impl Database {
             let ws = writes.get(tid).expect("handle exists only for written table");
             for (&rid, op) in ws {
                 let vop = match op {
+                    // Same shared allocation the WAL record holds.
                     WriteOp::Put(r) => VersionOp::Put(r.clone()),
                     WriteOp::Delete => VersionOp::Delete,
                 };
@@ -407,16 +423,39 @@ impl Database {
 
     // ----------------------------------------------------------- facilities
 
-    /// Run `f` with shared access to a table.
-    pub(crate) fn with_table<R>(
-        &self,
-        id: TableId,
-        f: impl FnOnce(&TableStore) -> R,
-    ) -> Result<R> {
-        let tables = self.inner.tables.read();
-        let handle = tables.get(&id).ok_or(StorageError::UnknownTableId(id))?;
-        let guard = handle.read();
-        Ok(f(&guard))
+    /// The shared store handle for a table (cached by transactions so the
+    /// per-read global map lookup disappears from hot loops).
+    pub(crate) fn table_handle(&self, id: TableId) -> Result<Arc<RwLock<TableStore>>> {
+        self.inner
+            .tables
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(StorageError::UnknownTableId(id))
+    }
+
+    // Read-path accounting (relaxed: monitoring only, never ordering).
+
+    pub(crate) fn note_scan(&self, scanned: u64, skipped: u64) {
+        self.inner
+            .counters
+            .rows_scanned
+            .fetch_add(scanned, Ordering::Relaxed);
+        self.inner
+            .counters
+            .rows_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_point_get(&self) {
+        self.inner.counters.point_gets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_index_lookup(&self) {
+        self.inner
+            .counters
+            .index_lookups
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// A timestamp from the engine clock (used for row metadata).
@@ -487,7 +526,7 @@ impl Database {
                     continue; // watermark already protects the id space
                 }
                 let wal_op = match op {
-                    VersionOp::Put(r) => WalOp::Put(r.values().to_vec()),
+                    VersionOp::Put(r) => WalOp::Put(r.clone()),
                     VersionOp::Delete => unreachable!("filtered above"),
                 };
                 records.push(WalRecord::SnapshotRow {
@@ -514,6 +553,10 @@ impl Database {
             wal_batches_flushed: wal.batches_flushed,
             wal_records_flushed: wal.records_flushed,
             wal_fsyncs_saved: wal.fsyncs_saved,
+            rows_scanned: self.inner.counters.rows_scanned.load(Ordering::Relaxed),
+            rows_skipped_by_predicate: self.inner.counters.rows_skipped.load(Ordering::Relaxed),
+            point_gets: self.inner.counters.point_gets.load(Ordering::Relaxed),
+            index_lookups: self.inner.counters.index_lookups.load(Ordering::Relaxed),
         }
     }
 

@@ -61,7 +61,7 @@ pub use clock::ClockMode;
 pub use db::{Database, Options, Stats, TableStats};
 pub use error::{Result, StorageError};
 pub use query::{explain, plan_access, AccessPath, Predicate};
-pub use row::{Row, RowId};
+pub use row::{Row, RowId, SharedRow};
 pub use schema::{ColumnDef, IndexDef, TableDef, TableId};
 pub use table::{Ts, TS_LATEST};
 pub use txn::{Transaction, TxnId};

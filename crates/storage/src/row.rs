@@ -1,7 +1,15 @@
 //! Rows and row identifiers.
 
+use std::sync::Arc;
 
 use crate::value::Value;
+
+/// A committed row shared between the version store, readers, the WAL
+/// encoder and index maintenance. Reads hand out `SharedRow` clones
+/// (one atomic increment) instead of deep-copying the `Vec<Value>`;
+/// rows are immutable once committed, so sharing is safe. Callers that
+/// need to mutate materialize an owned copy with `Row::clone(&shared)`.
+pub type SharedRow = Arc<Row>;
 
 /// Stable identifier of a row within one table. Never reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -36,6 +44,11 @@ impl Row {
 
     pub fn into_values(self) -> Vec<Value> {
         self.values
+    }
+
+    /// Wrap this row for shared, zero-copy hand-out.
+    pub fn into_shared(self) -> SharedRow {
+        Arc::new(self)
     }
 
     pub fn get(&self, pos: usize) -> Option<&Value> {

@@ -8,11 +8,13 @@
 //! vice versa, which is what lets TeNDaX editors read documents while
 //! others type into them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::error::{Result, StorageError};
 use crate::index::{IndexKey, IndexStore};
-use crate::row::{Row, RowId};
+use crate::query::{plan_access, AccessPath, Predicate};
+use crate::row::{RowId, SharedRow};
 use crate::schema::{TableDef, TableId};
 
 /// Commit timestamp. `0` is reserved: no committed data carries it.
@@ -28,11 +30,24 @@ pub struct Version {
     pub op: VersionOp,
 }
 
-/// What a version did to the row.
+/// What a version did to the row. Put versions hold a [`SharedRow`]: the
+/// same allocation is handed to readers, the WAL encoder and index
+/// maintenance without ever copying the values.
 #[derive(Debug, Clone)]
 pub enum VersionOp {
-    Put(Row),
+    Put(SharedRow),
     Delete,
+}
+
+/// Result of a pushed-down scan: matching rows plus read accounting.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Matching rows in row-id order (shared, zero-copy handles).
+    pub rows: Vec<(RowId, SharedRow)>,
+    /// Visible rows the scan examined.
+    pub scanned: u64,
+    /// Examined rows rejected by the predicate (never materialized).
+    pub skipped: u64,
 }
 
 /// A table: schema, version chains, secondary indexes, row id allocator.
@@ -92,7 +107,7 @@ impl TableStore {
     }
 
     /// The row version visible at snapshot `ts`, if any.
-    pub fn visible(&self, row: RowId, ts: Ts) -> Option<&Row> {
+    pub fn visible(&self, row: RowId, ts: Ts) -> Option<&SharedRow> {
         let chain = self.chains.get(&row)?;
         match newest_at(chain, ts)? {
             VersionOp::Put(r) => Some(r),
@@ -131,13 +146,58 @@ impl TableStore {
     }
 
     /// Iterate all rows visible at `ts`.
-    pub fn scan_visible(&self, ts: Ts) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+    pub fn scan_visible(&self, ts: Ts) -> impl Iterator<Item = (RowId, &SharedRow)> + '_ {
         self.chains.iter().filter_map(move |(id, chain)| {
             match newest_at(chain, ts)? {
                 VersionOp::Put(r) => Some((*id, r)),
                 VersionOp::Delete => None,
             }
         })
+    }
+
+    /// Pushed-down scan: plan an access path for `pred` against this
+    /// table's schema, walk it, and return only the matching rows as
+    /// shared handles. Non-matching rows are counted (`skipped`) but
+    /// never cloned or collected — the predicate runs against the stored
+    /// version in place.
+    pub fn scan_matching(&self, ts: Ts, pred: &Predicate) -> Result<ScanOutcome> {
+        let mut out = ScanOutcome::default();
+        match plan_access(&self.def, pred) {
+            AccessPath::FullScan => {
+                for (rid, row) in self.scan_visible(ts) {
+                    out.scanned += 1;
+                    if pred.eval(&self.def, row)? {
+                        out.rows.push((rid, row.clone()));
+                    } else {
+                        out.skipped += 1;
+                    }
+                }
+            }
+            AccessPath::IndexPrefix { index_pos, prefix } => {
+                let idx = self
+                    .indexes
+                    .get(index_pos)
+                    .ok_or_else(|| StorageError::Internal("planner chose missing index".into()))?;
+                let mut seen = HashSet::new();
+                for (_, rid) in idx.prefix(&prefix) {
+                    if !seen.insert(rid) {
+                        continue;
+                    }
+                    if let Some(row) = self.visible(rid, ts) {
+                        out.scanned += 1;
+                        if pred.eval(&self.def, row)? {
+                            out.rows.push((rid, row.clone()));
+                        } else {
+                            out.skipped += 1;
+                        }
+                    }
+                }
+                // Index iteration is key-ordered; callers expect row-id
+                // order for merge with the write-set overlay.
+                out.rows.sort_unstable_by_key(|(rid, _)| *rid);
+            }
+        }
+        Ok(out)
     }
 
     /// Iterate every version of every row (used by checkpointing).
@@ -257,6 +317,7 @@ fn newest_at(chain: &[Version], ts: Ts) -> Option<&VersionOp> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::row::Row;
     use crate::value::{DataType, Value};
 
     fn table() -> TableStore {
@@ -269,7 +330,7 @@ mod tests {
     }
 
     fn put(k: u64, v: &str) -> VersionOp {
-        VersionOp::Put(Row::new(vec![Value::Id(k), Value::Text(v.into())]))
+        VersionOp::Put(Row::new(vec![Value::Id(k), Value::Text(v.into())]).into_shared())
     }
 
     #[test]

@@ -13,13 +13,15 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::ops::Bound;
+use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
 
 use crate::db::Database;
 use crate::error::{Result, StorageError};
 use crate::index::IndexKey;
-use crate::query::{plan_access, AccessPath, Predicate};
-use crate::row::{Row, RowId};
+use crate::query::Predicate;
+use crate::row::{Row, RowId, SharedRow};
 use crate::schema::TableId;
 use crate::table::{TableStore, Ts};
 use crate::value::Value;
@@ -28,10 +30,13 @@ use crate::value::Value;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
-/// A buffered, not-yet-committed write.
+/// A buffered, not-yet-committed write. Put rows are stored shared so
+/// commit can hand the *same* allocation to the WAL encoder and the
+/// version store; the write set itself stays copy-on-write (updates to a
+/// buffered row materialize a fresh `Row` and swap the handle).
 #[derive(Debug, Clone)]
 pub(crate) enum WriteOp {
-    Put(Row),
+    Put(SharedRow),
     Delete,
 }
 
@@ -63,6 +68,12 @@ pub struct Transaction {
     /// happened, it just may not survive a crash.
     pub(crate) published: bool,
     state: TxnState,
+    /// Table handles this transaction has touched. Repeated reads of the
+    /// same table (the per-character hot loop) skip the database's global
+    /// table-map lock entirely. A handle pinned here keeps serving the
+    /// snapshot even if the table is dropped mid-transaction — exactly
+    /// the isolation a snapshot reader expects.
+    handles: Mutex<BTreeMap<TableId, Arc<RwLock<TableStore>>>>,
 }
 
 impl Transaction {
@@ -75,6 +86,7 @@ impl Transaction {
             created: HashSet::new(),
             published: false,
             state: TxnState::Active,
+            handles: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -108,72 +120,89 @@ impl Transaction {
         &self.db
     }
 
+    /// The table's store handle, via the per-transaction cache. Only the
+    /// first touch of a table pays the global `tables` map read-lock.
+    fn table_handle(&self, table: TableId) -> Result<Arc<RwLock<TableStore>>> {
+        let mut cache = self.handles.lock();
+        if let Some(h) = cache.get(&table) {
+            return Ok(h.clone());
+        }
+        let h = self.db.table_handle(table)?;
+        cache.insert(table, h.clone());
+        Ok(h)
+    }
+
+    /// Run `f` with shared access to a table, through the handle cache.
+    fn with_table<R>(&self, table: TableId, f: impl FnOnce(&TableStore) -> R) -> Result<R> {
+        let h = self.table_handle(table)?;
+        let guard = h.read();
+        Ok(f(&guard))
+    }
+
     // ---------------------------------------------------------------- reads
 
-    /// Read a row by id, seeing this transaction's own writes.
-    pub fn get(&self, table: TableId, row: RowId) -> Result<Option<Row>> {
+    /// Read a row by id, seeing this transaction's own writes. The
+    /// returned handle shares the stored row — no values are copied.
+    pub fn get(&self, table: TableId, row: RowId) -> Result<Option<SharedRow>> {
         self.check_active()?;
+        self.db.note_point_get();
         match self.own_write(table, row) {
             Some(WriteOp::Put(r)) => return Ok(Some(r.clone())),
             Some(WriteOp::Delete) => return Ok(None),
             None => {}
         }
-        self.db
-            .with_table(table, |t| Ok(t.visible(row, self.snapshot).cloned()))?
+        self.with_table(table, |t| t.visible(row, self.snapshot).cloned())
     }
 
     /// All rows matching `pred`, via the planned access path, with this
     /// transaction's own writes overlaid. Results are in row-id order.
-    pub fn scan(&self, table: TableId, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+    ///
+    /// Predicate evaluation is pushed down into the table store
+    /// ([`TableStore::scan_matching`]): non-matching committed rows are
+    /// counted but never materialized, and each returned row is a shared
+    /// handle produced exactly once.
+    pub fn scan(&self, table: TableId, pred: &Predicate) -> Result<Vec<(RowId, SharedRow)>> {
         self.check_active()?;
-        let mut matched: BTreeMap<RowId, Row> = self.db.with_table(table, |t| {
-            let mut out = BTreeMap::new();
-            match plan_access(t.definition(), pred) {
-                AccessPath::FullScan => {
-                    for (rid, row) in t.scan_visible(self.snapshot) {
-                        if pred.eval(t.definition(), row)? {
-                            out.insert(rid, row.clone());
-                        }
-                    }
-                }
-                AccessPath::IndexPrefix { index_pos, prefix } => {
-                    let idx = t
-                        .index(index_pos)
-                        .ok_or_else(|| StorageError::Internal("planner chose missing index".into()))?;
-                    let mut seen = HashSet::new();
-                    for (_, rid) in idx.prefix(&prefix) {
-                        if !seen.insert(rid) {
-                            continue;
-                        }
-                        if let Some(row) = t.visible(rid, self.snapshot) {
-                            if pred.eval(t.definition(), row)? {
-                                out.insert(rid, row.clone());
-                            }
-                        }
-                    }
+        let outcome = self.with_table(table, |t| t.scan_matching(self.snapshot, pred))??;
+        self.db.note_scan(outcome.scanned, outcome.skipped);
+        let Some(ws) = self.writes.get(&table).filter(|ws| !ws.is_empty()) else {
+            return Ok(outcome.rows);
+        };
+        // Merge the committed rows (row-id ordered) with the own-write
+        // overlay (BTreeMap, also ordered): a two-pointer pass that
+        // yields each row exactly once.
+        let def = self.db.table_def(table)?;
+        let mut merged = Vec::with_capacity(outcome.rows.len() + ws.len());
+        let mut own = ws.iter().peekable();
+        let emit_own = |rid: RowId, op: &WriteOp, out: &mut Vec<(RowId, SharedRow)>| {
+            if let WriteOp::Put(r) = op {
+                if pred.eval(&def, r)? {
+                    out.push((rid, r.clone()));
                 }
             }
-            Ok::<_, StorageError>(out)
-        })??;
-        // Overlay own writes.
-        if let Some(ws) = self.writes.get(&table) {
-            let def = self.db.table_def(table)?;
-            for (rid, op) in ws {
-                match op {
-                    WriteOp::Put(r) => {
-                        if pred.eval(&def, r)? {
-                            matched.insert(*rid, r.clone());
-                        } else {
-                            matched.remove(rid);
-                        }
-                    }
-                    WriteOp::Delete => {
-                        matched.remove(rid);
-                    }
+            Ok::<_, StorageError>(())
+        };
+        for (rid, row) in outcome.rows {
+            while let Some(&(&wrid, op)) = own.peek() {
+                if wrid >= rid {
+                    break;
                 }
+                emit_own(wrid, op, &mut merged)?;
+                own.next();
+            }
+            match own.peek() {
+                Some(&(&wrid, op)) if wrid == rid => {
+                    // Own write supersedes the committed version.
+                    emit_own(wrid, op, &mut merged)?;
+                    own.next();
+                }
+                _ => merged.push((rid, row)),
             }
         }
-        Ok(matched.into_iter().collect())
+        for (&wrid, op) in own {
+            emit_own(wrid, op, &mut merged)?;
+        }
+        Ok(merged)
     }
 
     /// Count rows matching `pred`.
@@ -187,7 +216,7 @@ impl Transaction {
         table: TableId,
         index: &str,
         key: &[Value],
-    ) -> Result<Vec<(RowId, Row)>> {
+    ) -> Result<Vec<(RowId, SharedRow)>> {
         let key_vec: IndexKey = key.to_vec();
         self.index_range(
             table,
@@ -205,9 +234,10 @@ impl Transaction {
         index: &str,
         lo: Bound<&IndexKey>,
         hi: Bound<&IndexKey>,
-    ) -> Result<Vec<(RowId, Row)>> {
+    ) -> Result<Vec<(RowId, SharedRow)>> {
         self.check_active()?;
-        let mut matched: BTreeMap<(IndexKey, RowId), Row> = self.db.with_table(table, |t| {
+        self.db.note_index_lookup();
+        let mut matched: BTreeMap<(IndexKey, RowId), SharedRow> = self.with_table(table, |t| {
             let (_, idx) = t.index_by_name(index).ok_or_else(|| StorageError::UnknownIndex {
                 table: t.definition().name.clone(),
                 index: index.to_owned(),
@@ -229,7 +259,7 @@ impl Transaction {
         // Overlay own writes: recompute their keys and membership.
         if let Some(ws) = self.writes.get(&table) {
             let key_bounds = (lo, hi);
-            let keys_of_own: Vec<(RowId, Option<(IndexKey, Row)>)> = self.db.with_table(table, |t| {
+            let keys_of_own: Vec<(RowId, Option<(IndexKey, SharedRow)>)> = self.with_table(table, |t| {
                 let (_, idx) = t
                     .index_by_name(index)
                     .ok_or_else(|| StorageError::UnknownIndex {
@@ -273,8 +303,9 @@ impl Transaction {
         index: &str,
         prefix: &[Value],
         before: Option<&IndexKey>,
-    ) -> Result<Option<(IndexKey, RowId, Row)>> {
+    ) -> Result<Option<(IndexKey, RowId, SharedRow)>> {
         self.check_active()?;
+        self.db.note_index_lookup();
         let lo: IndexKey = prefix.to_vec();
         // Exclusive upper bound of the whole prefix range (when the last
         // prefix value has a computable successor).
@@ -288,7 +319,7 @@ impl Transaction {
         };
         // Committed candidate: newest visible entry, skipping rows this
         // transaction has overwritten (their committed key is stale).
-        let committed: Option<(IndexKey, RowId, Row)> = self.db.with_table(table, |t| {
+        let committed: Option<(IndexKey, RowId, SharedRow)> = self.with_table(table, |t| {
             let (_, idx) = t.index_by_name(index).ok_or_else(|| StorageError::UnknownIndex {
                 table: t.definition().name.clone(),
                 index: index.to_owned(),
@@ -320,16 +351,16 @@ impl Transaction {
             Ok(None)
         })??;
         // Own-write candidate with the greatest qualifying key.
-        let own: Option<(IndexKey, RowId, Row)> = match self.writes.get(&table) {
+        let own: Option<(IndexKey, RowId, SharedRow)> = match self.writes.get(&table) {
             None => None,
-            Some(ws) => self.db.with_table(table, |t| {
+            Some(ws) => self.with_table(table, |t| {
                 let (_, idx) = t
                     .index_by_name(index)
                     .ok_or_else(|| StorageError::UnknownIndex {
                         table: t.definition().name.clone(),
                         index: index.to_owned(),
                     })?;
-                let mut best: Option<(IndexKey, RowId, Row)> = None;
+                let mut best: Option<(IndexKey, RowId, SharedRow)> = None;
                 for (&rid, op) in ws {
                     let WriteOp::Put(row) = op else { continue };
                     let key = idx.key_of(row);
@@ -359,14 +390,14 @@ impl Transaction {
     /// Insert a new row, returning its id.
     pub fn insert(&mut self, table: TableId, row: Row) -> Result<RowId> {
         self.check_active()?;
-        let rid = self.db.with_table(table, |t| {
+        let rid = self.with_table(table, |t| {
             t.definition().validate_row(row.values())?;
             Ok::<_, StorageError>(t.allocate_row_id())
         })??;
         self.writes
             .entry(table)
             .or_default()
-            .insert(rid, WriteOp::Put(row));
+            .insert(rid, WriteOp::Put(row.into_shared()));
         self.created.insert((table, rid));
         Ok(rid)
     }
@@ -377,19 +408,21 @@ impl Transaction {
         if self.get(table, row)?.is_none() {
             return Err(self.not_found(table));
         }
-        self.db
-            .with_table(table, |t| t.definition().validate_row(new_row.values()))??;
+        self.with_table(table, |t| t.definition().validate_row(new_row.values()))??;
         self.writes
             .entry(table)
             .or_default()
-            .insert(row, WriteOp::Put(new_row));
+            .insert(row, WriteOp::Put(new_row.into_shared()));
         Ok(())
     }
 
     /// Update named columns of an existing row, leaving others unchanged.
+    /// Copy-on-write: the current version (shared or buffered) is
+    /// materialized once, mutated, and buffered as a fresh shared row.
     pub fn set(&mut self, table: TableId, row: RowId, updates: &[(&str, Value)]) -> Result<()> {
         self.check_active()?;
-        let mut current = self.get(table, row)?.ok_or_else(|| self.not_found(table))?;
+        let current = self.get(table, row)?.ok_or_else(|| self.not_found(table))?;
+        let mut current = Row::clone(&current);
         let def = self.db.table_def(table)?;
         for (col, val) in updates {
             let pos = def.require_column(col)?;

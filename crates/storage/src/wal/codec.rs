@@ -8,7 +8,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::{Result, StorageError};
-use crate::row::RowId;
+use crate::row::{Row, RowId};
 use crate::schema::{ColumnDef, IndexDef, TableDef, TableId};
 use crate::value::{DataType, Value};
 use crate::wal::{WalOp, WalRecord, WalWrite};
@@ -151,8 +151,9 @@ fn get_write(buf: &mut &[u8]) -> Result<WalWrite> {
 
 fn put_op(b: &mut BytesMut, op: &WalOp) {
     match op {
-        WalOp::Put(values) => {
+        WalOp::Put(row) => {
             b.put_u8(OP_PUT);
+            let values = row.values();
             b.put_u32_le(values.len() as u32);
             for v in values {
                 put_value(b, v);
@@ -170,7 +171,7 @@ fn get_op(buf: &mut &[u8]) -> Result<WalOp> {
             for _ in 0..n {
                 values.push(get_value(buf)?);
             }
-            Ok(WalOp::Put(values))
+            Ok(WalOp::Put(Row::new(values).into_shared()))
         }
         OP_DELETE => Ok(WalOp::Delete),
         t => Err(corrupt(format!("unknown op tag {t}"))),
@@ -403,16 +404,19 @@ mod tests {
                 WalWrite {
                     table: TableId(0),
                     row: RowId(1),
-                    op: WalOp::Put(vec![
-                        Value::Null,
-                        Value::Int(-5),
-                        Value::Id(u64::MAX),
-                        Value::Text("héllo \u{1F600}".into()),
-                        Value::Bool(true),
-                        Value::Bytes(vec![0, 255, 128]),
-                        Value::Timestamp(1_136_073_600_000_000),
-                        Value::Float(-0.5),
-                    ]),
+                    op: WalOp::Put(
+                        Row::new(vec![
+                            Value::Null,
+                            Value::Int(-5),
+                            Value::Id(u64::MAX),
+                            Value::Text("héllo \u{1F600}".into()),
+                            Value::Bool(true),
+                            Value::Bytes(vec![0, 255, 128]),
+                            Value::Timestamp(1_136_073_600_000_000),
+                            Value::Float(-0.5),
+                        ])
+                        .into_shared(),
+                    ),
                 },
                 WalWrite {
                     table: TableId(1),
@@ -429,7 +433,7 @@ mod tests {
             table: TableId(2),
             row: RowId(77),
             commit_ts: 5,
-            op: WalOp::Put(vec![Value::Text("x".into())]),
+            op: WalOp::Put(Row::new(vec![Value::Text("x".into())]).into_shared()),
         });
     }
 

@@ -13,10 +13,9 @@ mod log;
 pub use group::{GroupWal, WalStats, WalTicket};
 pub use log::{WalFile, WalIter};
 
-use crate::row::RowId;
+use crate::row::{RowId, SharedRow};
 use crate::schema::{TableDef, TableId};
 use crate::table::Ts;
-use crate::value::Value;
 
 /// How hard the engine pushes commits toward the platter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,10 +36,11 @@ pub struct WalWrite {
     pub op: WalOp,
 }
 
-/// The operation a write performed.
+/// The operation a write performed. Put holds the same shared row the
+/// version store publishes — encoding borrows it, nothing is copied.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalOp {
-    Put(Vec<Value>),
+    Put(SharedRow),
     Delete,
 }
 

@@ -32,7 +32,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
 
 fn arb_wal_op() -> impl Strategy<Value = WalOp> {
     prop_oneof![
-        proptest::collection::vec(arb_value(), 0..8).prop_map(WalOp::Put),
+        proptest::collection::vec(arb_value(), 0..8)
+            .prop_map(|vs| WalOp::Put(Row::new(vs).into_shared())),
         Just(WalOp::Delete),
     ]
 }

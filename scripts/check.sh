@@ -13,4 +13,7 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
 echo "==> all checks passed"
