@@ -12,7 +12,7 @@ use tendax_text::chain::Chain;
 use tendax_text::CharId;
 
 fn chain_of(n: usize) -> Chain {
-    Chain::build((1..=n as u64).map(|i| (CharId(i), i % 7 != 0)))
+    Chain::build((1..=n as u64).map(|i| (CharId(i), i % 7 != 0))).expect("unique ids")
 }
 
 fn bench_position_lookup(c: &mut Criterion) {
@@ -70,7 +70,7 @@ fn bench_insert_maintenance(c: &mut Criterion) {
             let mut next = n as u64 + 1;
             let anchor = chain.id_at_visible(chain.visible_len() / 2).expect("anchor");
             b.iter(|| {
-                chain.insert_after(Some(anchor), CharId(next), true);
+                chain.insert_after(Some(anchor), CharId(next), true).expect("fresh id");
                 next += 1;
             });
         });

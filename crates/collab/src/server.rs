@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use tendax_storage::MaintenanceOptions;
 use tendax_text::{DocId, Result, TextDb};
 
 use crate::awareness::{AwarenessRegistry, Platform, Presence};
@@ -26,6 +27,15 @@ pub struct CollabServer {
 impl CollabServer {
     pub fn new(tdb: TextDb) -> Self {
         Self::with_latency(tdb, Duration::ZERO)
+    }
+
+    /// A server that runs background maintenance (auto-vacuum and
+    /// auto-checkpoint) on the shared database — the configuration a
+    /// long-running multi-editor deployment wants. Maintenance stops
+    /// when the last clone of the underlying database is dropped.
+    pub fn with_maintenance(tdb: TextDb, opts: MaintenanceOptions) -> Self {
+        tdb.database().start_maintenance(opts);
+        Self::new(tdb)
     }
 
     /// A server whose editor links simulate the given one-way latency.
@@ -119,6 +129,48 @@ mod tests {
         assert_eq!(online[1].platform, Platform::MacOsX);
         drop(s1);
         assert_eq!(server.who_is_online().len(), 1);
+    }
+
+    #[test]
+    fn maintenance_server_vacuums_while_editors_type() {
+        let tdb = TextDb::in_memory();
+        tdb.create_user("alice").unwrap();
+        let server = CollabServer::with_maintenance(
+            tdb,
+            MaintenanceOptions {
+                interval: Duration::from_millis(1),
+                vacuum_pruneable: 8,
+                ..MaintenanceOptions::default()
+            },
+        );
+        let alice = server.connect("alice", Platform::Linux).unwrap();
+        server
+            .textdb()
+            .create_document("notes", alice.user())
+            .unwrap();
+        let mut doc = alice.open("notes").unwrap();
+        // Repeated insert/delete churn leaves superseded versions behind
+        // for the background vacuum to prune.
+        for _ in 0..20 {
+            doc.type_text(0, "scratch").unwrap();
+            doc.delete(0, 7).unwrap();
+        }
+        doc.type_text(0, "kept").unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let stats = server.textdb().database().stats();
+            if stats.maintenance_vacuums > 0 {
+                assert!(stats.versions_pruned > 0);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background vacuum never ran"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(doc.text(), "kept");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use std::time::Duration;
 
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 use tendax_text::{
     Clip, DocHandle, DocId, EditReceipt, Result, StyleId, TextError, UserId,
 };
@@ -19,8 +20,30 @@ use crate::bus::{DocEvent, SessionId, Subscription};
 use crate::server::CollabServer;
 
 /// How many times an edit is retried after losing a commit race before
-/// the error is surfaced. Each retry re-syncs from the bus and database.
+/// [`TextError::RetriesExhausted`] is surfaced. Each retry re-syncs from
+/// the bus and database, after a jittered exponential backoff.
 const EDIT_RETRIES: usize = 16;
+
+/// Backoff ceiling before retry 1, doubling each retry up to
+/// `BACKOFF_BASE_US << BACKOFF_MAX_SHIFT` (20µs … 2.56ms).
+const BACKOFF_BASE_US: u64 = 20;
+const BACKOFF_MAX_SHIFT: u32 = 7;
+
+/// Jittered exponential backoff delay before retry `attempt` (≥ 1).
+///
+/// N sessions hammering one hot position re-collide in lockstep if they
+/// all retry immediately; the jitter decorrelates them. The jitter is
+/// *deterministic* — seeded from the session id and attempt number, no
+/// ambient clock or process-global RNG — so retry schedules are
+/// reproducible in tests. Uniform in `[ceiling/2, ceiling]`, ceiling
+/// doubling per attempt and capped.
+fn backoff_delay(session: SessionId, attempt: usize) -> Duration {
+    debug_assert!(attempt >= 1);
+    let ceil_us = BACKOFF_BASE_US << (attempt as u32 - 1).min(BACKOFF_MAX_SHIFT);
+    let seed = session.0 ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Duration::from_micros(rng.gen_range(ceil_us / 2..=ceil_us))
+}
 
 /// One running editor instance.
 #[derive(Debug)]
@@ -220,16 +243,28 @@ impl EditorDoc {
         self.reorder.retain(|ev| ev.commit_ts > self.handle.synced_ts());
         // Drain the reorder buffer to a fixpoint: each successful apply
         // may unblock buffered dependents.
-        loop {
+        let mut stale = false;
+        'drain: loop {
             let mut progressed = false;
             let mut i = 0;
             while i < self.reorder.len() {
                 if self.handle.effects_applicable(&self.reorder[i].effects) {
                     let ev = self.reorder.remove(i);
-                    self.handle.apply_remote(&ev.effects);
-                    applied += 1;
-                    self.stats.events_applied += 1;
-                    progressed = true;
+                    match self.handle.apply_remote(&ev.effects) {
+                        Ok(()) => {
+                            applied += 1;
+                            self.stats.events_applied += 1;
+                            progressed = true;
+                        }
+                        Err(_) => {
+                            // StaleCache: the chain rejected an effect the
+                            // cache vouched for — the view has drifted.
+                            // Fall back to a refresh, which supersedes
+                            // every buffered event (the retry).
+                            stale = true;
+                            break 'drain;
+                        }
+                    }
                 } else {
                     i += 1;
                 }
@@ -239,8 +274,9 @@ impl EditorDoc {
             }
         }
         // Unresolvable holes (dependency will never arrive on this
-        // subscription): resynchronize from the database.
-        if self.reorder.len() > 64 && self.handle.refresh().is_ok() {
+        // subscription) or an incoherent cache: resynchronize from the
+        // database, superseding everything still buffered.
+        if (stale || self.reorder.len() > 64) && self.handle.refresh().is_ok() {
             applied += self.reorder.len();
             self.reorder.clear();
         }
@@ -363,10 +399,10 @@ impl EditorDoc {
     ) -> Result<(EditReceipt, EditReceipt)> {
         self.sync();
         dst.sync();
-        let mut last: Option<TextError> = None;
         for attempt in 0..EDIT_RETRIES {
             if attempt > 0 {
                 self.stats.retries += 1;
+                std::thread::sleep(backoff_delay(self.session, attempt));
                 self.sync();
                 dst.sync();
                 self.handle.refresh()?;
@@ -380,11 +416,13 @@ impl EditorDoc {
                     dst.publish("paste", &ins);
                     return Ok((del, ins));
                 }
-                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) if e.is_retryable() => continue,
                 Err(e) => return Err(e),
             }
         }
-        Err(last.expect("retry loop ran"))
+        Err(TextError::RetriesExhausted {
+            attempts: EDIT_RETRIES,
+        })
     }
 
     pub fn undo(&mut self) -> Result<EditReceipt> {
@@ -412,10 +450,10 @@ impl EditorDoc {
     ) -> Result<(T, EditReceipt)> {
         let mut f = f;
         self.sync();
-        let mut last: Option<TextError> = None;
         for attempt in 0..EDIT_RETRIES {
             if attempt > 0 {
                 self.stats.retries += 1;
+                std::thread::sleep(backoff_delay(self.session, attempt));
                 self.sync();
                 self.handle.refresh()?;
             }
@@ -425,11 +463,13 @@ impl EditorDoc {
                     self.publish(kind, &receipt);
                     return Ok((value, receipt));
                 }
-                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) if e.is_retryable() => continue,
                 Err(e) => return Err(e),
             }
         }
-        Err(last.expect("retry loop ran"))
+        Err(TextError::RetriesExhausted {
+            attempts: EDIT_RETRIES,
+        })
     }
 
     fn perform(
@@ -438,10 +478,10 @@ impl EditorDoc {
         mut f: impl FnMut(&mut DocHandle) -> Result<EditReceipt>,
     ) -> Result<EditReceipt> {
         self.sync();
-        let mut last: Option<TextError> = None;
         for attempt in 0..EDIT_RETRIES {
             if attempt > 0 {
                 self.stats.retries += 1;
+                std::thread::sleep(backoff_delay(self.session, attempt));
                 self.sync();
                 self.handle.refresh()?;
             }
@@ -451,11 +491,13 @@ impl EditorDoc {
                     self.publish(kind, &receipt);
                     return Ok(receipt);
                 }
-                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) if e.is_retryable() => continue,
                 Err(e) => return Err(e),
             }
         }
-        Err(last.expect("retry loop ran"))
+        Err(TextError::RetriesExhausted {
+            attempts: EDIT_RETRIES,
+        })
     }
 
     /// Like [`EditorDoc::perform`], but for operations addressed by a
@@ -472,10 +514,10 @@ impl EditorDoc {
     ) -> Result<(usize, EditReceipt)> {
         let anchor = self.capture_anchor(pos);
         self.sync();
-        let mut last: Option<TextError> = None;
         for attempt in 0..EDIT_RETRIES {
             if attempt > 0 {
                 self.stats.retries += 1;
+                std::thread::sleep(backoff_delay(self.session, attempt));
                 self.sync();
                 self.handle.refresh()?;
             }
@@ -486,11 +528,13 @@ impl EditorDoc {
                     self.publish(kind, &receipt);
                     return Ok((at, receipt));
                 }
-                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) if e.is_retryable() => continue,
                 Err(e) => return Err(e),
             }
         }
-        Err(last.expect("retry loop ran"))
+        Err(TextError::RetriesExhausted {
+            attempts: EDIT_RETRIES,
+        })
     }
 
     /// Snapshot `pos` as an anchor in the current local view.
@@ -795,6 +839,103 @@ mod tests {
         b_dst.sync();
         assert_eq!(b_src.text(), "take  away");
         assert_eq!(b_dst.text(), "THIS");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        for attempt in 1..=EDIT_RETRIES {
+            let a = backoff_delay(SessionId(7), attempt);
+            let b = backoff_delay(SessionId(7), attempt);
+            assert_eq!(a, b, "same session+attempt must give the same delay");
+            let ceil = BACKOFF_BASE_US << (attempt as u32 - 1).min(BACKOFF_MAX_SHIFT);
+            let us = a.as_micros() as u64;
+            assert!(
+                us >= ceil / 2 && us <= ceil,
+                "attempt {attempt}: {us}µs outside [{}, {ceil}]",
+                ceil / 2
+            );
+        }
+        // The ceiling grows then caps: the last delay is bounded.
+        let last = backoff_delay(SessionId(7), EDIT_RETRIES);
+        assert!(last <= Duration::from_micros(BACKOFF_BASE_US << BACKOFF_MAX_SHIFT));
+    }
+
+    #[test]
+    fn backoff_decorrelates_sessions() {
+        // Two lockstep sessions must not share a retry schedule — that is
+        // the livelock the jitter exists to break. With 16 attempts the
+        // chance of all-equal delays by luck is negligible.
+        let differs = (1..=EDIT_RETRIES)
+            .any(|a| backoff_delay(SessionId(1), a) != backoff_delay(SessionId(2), a));
+        assert!(differs, "sessions retry in lockstep");
+    }
+
+    /// Regression (retry livelock): the loop used to end with
+    /// `last.expect("retry loop ran")`, surfacing whatever transient
+    /// error happened to be last. Exhaustion is now its own signal.
+    #[test]
+    fn exhausted_retries_surface_retries_exhausted() {
+        let (_server, sa, _sb) = lan();
+        let mut da = sa.open("shared").unwrap();
+        let doc = da.doc();
+        let err = da
+            .with_handle::<()>("doomed", |_h| Err(TextError::StaleView(doc)))
+            .unwrap_err();
+        assert_eq!(err, TextError::RetriesExhausted { attempts: EDIT_RETRIES });
+        assert_eq!(da.stats().retries as usize, EDIT_RETRIES - 1);
+    }
+
+    /// Regression (stale-anchor panic): a remote event whose anchor the
+    /// local cache has never heard of used to panic the process inside
+    /// `Chain::insert_after`. It must instead fall back to a refresh and
+    /// leave the editor consistent with the database.
+    #[test]
+    fn incoherent_remote_event_recovers_via_refresh() {
+        use tendax_text::{CharId, Effect, StyleId, UserId};
+        let (_server, sa, sb) = lan();
+        let mut da = sa.open("shared").unwrap();
+        let db = sb.open("shared").unwrap();
+        da.type_text(0, "solid").unwrap();
+        // A forged event: inserts after an anchor that exists in the
+        // database-backed view of *nobody*. `effects_applicable` would
+        // buffer it forever; a second effect in the same event names the
+        // phantom as introduced, so the batch passes the vet and the
+        // chain itself must reject it.
+        let phantom = CharId(u64::MAX - 1);
+        let ev = DocEvent {
+            doc: da.doc(),
+            op: tendax_text::OpId::NONE,
+            commit_ts: da.handle().synced_ts() + 1_000_000,
+            user: db.handle().user(),
+            origin: SessionId(9999),
+            kind: "insert".into(),
+            effects: vec![
+                Effect::Insert {
+                    char: phantom,
+                    prev: Some(CharId(u64::MAX - 2)), // unknown anchor
+                    ch: '!',
+                    author: UserId(1),
+                    ts: 0,
+                    style: StyleId::NONE,
+                    src_doc: da.doc(),
+                    src_char: CharId::NONE,
+                    external: None,
+                },
+            ],
+        };
+        // The vet rejects it (unknown anchor), so it parks in the
+        // reorder buffer rather than panicking...
+        da.apply_events(vec![ev.clone()]);
+        assert_eq!(da.text(), "solid");
+        // ...and a direct apply (the path a vet false-positive would
+        // take) returns StaleCache instead of crashing.
+        let err = da.handle.apply_remote(&ev.effects).unwrap_err();
+        assert!(matches!(err, TextError::StaleCache(_)));
+        assert!(err.is_retryable());
+        // The session heals: refresh + further edits work.
+        da.handle.refresh().unwrap();
+        da.type_text(5, "!").unwrap();
+        assert_eq!(da.text(), "solid!");
     }
 
     #[test]

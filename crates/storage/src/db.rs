@@ -9,6 +9,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::clock::{Clock, ClockMode};
 use crate::error::{Result, StorageError};
+use crate::maintenance::{MaintenanceOptions, MaintenanceTask};
 use crate::row::RowId;
 use crate::schema::{Catalog, TableDef, TableId};
 use crate::table::{TableStore, Ts, VersionOp};
@@ -24,6 +25,10 @@ pub struct Options {
     /// commit). `false` flushes per record inside the commit section —
     /// the pre-group-commit behaviour, kept for A/B measurement.
     pub group_commit: bool,
+    /// Run a background maintenance thread (auto-vacuum + auto-
+    /// checkpoint). `None` (the default) spawns nothing and leaves the
+    /// engine's behaviour exactly as without the subsystem.
+    pub maintenance: Option<MaintenanceOptions>,
 }
 
 impl Default for Options {
@@ -32,6 +37,7 @@ impl Default for Options {
             durability: DurabilityLevel::Buffered,
             clock: ClockMode::Logical,
             group_commit: true,
+            maintenance: None,
         }
     }
 }
@@ -61,6 +67,12 @@ pub struct Stats {
     pub point_gets: u64,
     /// Index lookups/range scans/cursor steps.
     pub index_lookups: u64,
+    /// Vacuums run by the background maintenance thread.
+    pub maintenance_vacuums: u64,
+    /// Checkpoints run by the background maintenance thread.
+    pub maintenance_checkpoints: u64,
+    /// Versions reclaimed by vacuum (manual and automatic).
+    pub versions_pruned: u64,
 }
 
 /// Per-table statistics (monitoring, planner diagnostics).
@@ -84,6 +96,9 @@ struct Counters {
     rows_skipped: AtomicU64,
     point_gets: AtomicU64,
     index_lookups: AtomicU64,
+    maintenance_vacuums: AtomicU64,
+    maintenance_checkpoints: AtomicU64,
+    versions_pruned: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -101,6 +116,16 @@ pub(crate) struct DbInner {
     wal: OnceLock<GroupWal>,
     counters: Counters,
     path: Option<PathBuf>,
+    /// Background maintenance thread, if started.
+    maintenance: Mutex<Option<MaintenanceTask>>,
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        if let Some(task) = self.maintenance.get_mut().take() {
+            task.shutdown();
+        }
+    }
 }
 
 /// A TeNDaX storage database. Cheap to clone (shared handle).
@@ -133,8 +158,14 @@ impl Database {
                 wal: OnceLock::new(),
                 counters: Counters::default(),
                 path,
+                maintenance: Mutex::new(None),
             }),
         }
+    }
+
+    /// Rebuild a handle from the shared inner (maintenance-thread path).
+    pub(crate) fn from_inner(inner: Arc<DbInner>) -> Database {
+        Database { inner }
     }
 
     /// Open (or create) a durable database whose WAL lives at `path`.
@@ -152,6 +183,9 @@ impl Database {
             .wal
             .set(GroupWal::new(wal, options.durability, options.group_commit))
             .expect("wal set once at open");
+        if let Some(m) = options.maintenance {
+            db.start_maintenance(m);
+        }
         Ok(db)
     }
 
@@ -291,8 +325,17 @@ impl Database {
     /// Begin a snapshot-isolated transaction.
     pub fn begin(&self) -> Transaction {
         let id = TxnId(self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed));
-        let snapshot = self.inner.last_commit_ts.load(Ordering::Acquire);
-        self.inner.active.lock().insert(id, snapshot);
+        // The snapshot must be loaded *while holding* the `active` lock:
+        // vacuum computes its horizon under this same lock, so a snapshot
+        // read before registration could otherwise be overtaken by a
+        // concurrent commit + vacuum, pruning versions this transaction
+        // is entitled to see.
+        let snapshot = {
+            let mut active = self.inner.active.lock();
+            let snapshot = self.inner.last_commit_ts.load(Ordering::Acquire);
+            active.insert(id, snapshot);
+            snapshot
+        };
         Transaction::new(self.clone(), id, snapshot)
     }
 
@@ -483,61 +526,138 @@ impl Database {
         for handle in tables.values() {
             pruned += handle.write().vacuum(horizon);
         }
+        self.inner
+            .counters
+            .versions_pruned
+            .fetch_add(pruned as u64, Ordering::Relaxed);
         pruned
     }
 
     /// Compact the WAL to a snapshot of the latest committed state.
+    ///
+    /// Two phases. The **copy phase** holds the commit lock just long
+    /// enough to mark the WAL as rewriting and collect one record per
+    /// live row — `SharedRow` handles, so "copying" a table is cloning
+    /// Arcs, not rows. The **swap phase** serializes those records,
+    /// atomically replaces the log file, and splices everything
+    /// committed during the rewrite onto the new tail — all with the
+    /// commit lock *released*, so committers stream through the serial
+    /// section the entire time the checkpoint does I/O.
     pub fn checkpoint(&self) -> Result<()> {
-        // The commit lock stops records from being enqueued mid-rewrite;
-        // the coordinator itself quiesces any flush already in flight.
-        let _commit = self.inner.commit_lock.lock();
         let Some(wal) = self.inner.wal.get() else {
             return Ok(()); // in-memory database: nothing to do
         };
-        let catalog = self.inner.catalog.read();
-        let tables = self.inner.tables.read();
-        let mut records = vec![WalRecord::Meta {
-            next_ts: self.inner.last_commit_ts.load(Ordering::Relaxed) + 1,
-            clock: self.inner.clock.peek(),
-        }];
-        for (id, def) in catalog.tables() {
-            records.push(WalRecord::CreateTable {
-                id,
-                def: def.clone(),
-            });
-        }
-        for (&id, handle) in tables.iter() {
-            let store = handle.read();
-            records.push(WalRecord::Watermark {
-                table: id,
-                next_row_id: store.row_id_watermark(),
-            });
-            // Emit only each row's newest version; dropped history is
-            // invisible to every post-restart snapshot anyway.
-            let mut newest: BTreeMap<RowId, (Ts, &VersionOp)> = BTreeMap::new();
-            for (rid, v) in store.iter_versions() {
-                let entry = newest.entry(rid).or_insert((v.commit_ts, &v.op));
-                if v.commit_ts >= entry.0 {
-                    *entry = (v.commit_ts, &v.op);
-                }
-            }
-            for (rid, (ts, op)) in newest {
-                if matches!(op, VersionOp::Delete) {
-                    continue; // watermark already protects the id space
-                }
-                let wal_op = match op {
-                    VersionOp::Put(r) => WalOp::Put(r.clone()),
-                    VersionOp::Delete => unreachable!("filtered above"),
-                };
-                records.push(WalRecord::SnapshotRow {
-                    table: id,
-                    row: rid,
-                    commit_ts: ts,
-                    op: wal_op,
+        // ---------------------------------------------------- copy phase
+        let records = {
+            let _commit = self.inner.commit_lock.lock();
+            wal.begin_rewrite()?;
+            let catalog = self.inner.catalog.read();
+            let tables = self.inner.tables.read();
+            let mut records = vec![WalRecord::Meta {
+                next_ts: self.inner.last_commit_ts.load(Ordering::Relaxed) + 1,
+                clock: self.inner.clock.peek(),
+            }];
+            for (id, def) in catalog.tables() {
+                records.push(WalRecord::CreateTable {
+                    id,
+                    def: def.clone(),
                 });
             }
+            for (&id, handle) in tables.iter() {
+                let store = handle.read();
+                records.push(WalRecord::Watermark {
+                    table: id,
+                    next_row_id: store.row_id_watermark(),
+                });
+                // Emit only each row's newest version; dropped history is
+                // invisible to every post-restart snapshot anyway.
+                let mut newest: BTreeMap<RowId, (Ts, &VersionOp)> = BTreeMap::new();
+                for (rid, v) in store.iter_versions() {
+                    let entry = newest.entry(rid).or_insert((v.commit_ts, &v.op));
+                    if v.commit_ts >= entry.0 {
+                        *entry = (v.commit_ts, &v.op);
+                    }
+                }
+                for (rid, (ts, op)) in newest {
+                    if matches!(op, VersionOp::Delete) {
+                        continue; // watermark already protects the id space
+                    }
+                    let wal_op = match op {
+                        VersionOp::Put(r) => WalOp::Put(r.clone()),
+                        VersionOp::Delete => unreachable!("filtered above"),
+                    };
+                    records.push(WalRecord::SnapshotRow {
+                        table: id,
+                        row: rid,
+                        commit_ts: ts,
+                        op: wal_op,
+                    });
+                }
+            }
+            records
+        };
+        // ---------------------------------------------------- swap phase
+        wal.finish_rewrite(&records)
+    }
+
+    /// Start the background maintenance thread. Returns `false` (and
+    /// does nothing) if one is already running. Works for in-memory
+    /// databases too — checkpointing is a no-op there, but auto-vacuum
+    /// still bounds version-chain growth.
+    pub fn start_maintenance(&self, opts: MaintenanceOptions) -> bool {
+        let mut slot = self.inner.maintenance.lock();
+        if slot.is_some() {
+            return false;
         }
-        wal.checkpoint(&records)
+        *slot = Some(MaintenanceTask::spawn(Arc::downgrade(&self.inner), opts));
+        true
+    }
+
+    /// Stop the background maintenance thread, waiting for any tick in
+    /// progress. Returns `false` if none was running.
+    pub fn stop_maintenance(&self) -> bool {
+        let task = self.inner.maintenance.lock().take();
+        match task {
+            Some(task) => {
+                task.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `(bytes, records)` written to the WAL since open or the last
+    /// checkpoint; `(0, 0)` for in-memory databases.
+    pub fn wal_size(&self) -> (u64, u64) {
+        self.inner.wal.get().map(GroupWal::size).unwrap_or((0, 0))
+    }
+
+    /// Estimated versions a vacuum could reclaim right now: stored
+    /// versions minus distinct rows, summed over all tables. An upper
+    /// bound (long-lived snapshots may pin some), cheap to compute.
+    pub fn pruneable_estimate(&self) -> usize {
+        let tables = self.inner.tables.read();
+        tables
+            .values()
+            .map(|h| {
+                let store = h.read();
+                store.version_count().saturating_sub(store.chain_count())
+            })
+            .sum()
+    }
+
+    pub(crate) fn note_auto_vacuum(&self) {
+        self.inner
+            .counters
+            .maintenance_vacuums
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_auto_checkpoint(&self) {
+        self.inner
+            .counters
+            .maintenance_checkpoints
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Engine statistics snapshot.
@@ -557,6 +677,17 @@ impl Database {
             rows_skipped_by_predicate: self.inner.counters.rows_skipped.load(Ordering::Relaxed),
             point_gets: self.inner.counters.point_gets.load(Ordering::Relaxed),
             index_lookups: self.inner.counters.index_lookups.load(Ordering::Relaxed),
+            maintenance_vacuums: self
+                .inner
+                .counters
+                .maintenance_vacuums
+                .load(Ordering::Relaxed),
+            maintenance_checkpoints: self
+                .inner
+                .counters
+                .maintenance_checkpoints
+                .load(Ordering::Relaxed),
+            versions_pruned: self.inner.counters.versions_pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -1025,6 +1156,106 @@ mod tests {
         assert!(pruned > 0);
         let r = db.begin().get(t, rid).unwrap().unwrap();
         assert_eq!(r.get(1).unwrap().as_id(), Some(14));
+    }
+
+    /// Regression: `begin` used to load `last_commit_ts` *before*
+    /// registering in `active`. In that window a concurrent commit +
+    /// vacuum computed a horizon past the already-loaded snapshot and
+    /// pruned the only version it could see — the reader then observed a
+    /// row vanish (`get` returned `None` for a row that existed in its
+    /// snapshot). With the snapshot now allocated under the `active`
+    /// lock, the horizon can never overtake an unregistered snapshot.
+    #[test]
+    fn begin_snapshot_cannot_be_overtaken_by_vacuum() {
+        use std::sync::atomic::AtomicBool;
+
+        let db = Database::open_in_memory();
+        let t = db.create_table(docs_def()).unwrap();
+        let mut setup = db.begin();
+        let rid = setup.insert(t, doc_row("contended", 1)).unwrap();
+        setup.commit().unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        // Writer: keeps superseding the row so there is always a version
+        // for vacuum to prune.
+        let writer = {
+            let db = db.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut w = db.begin();
+                    w.set(t, rid, &[("author", Value::Id(i % 100 + 1))]).unwrap();
+                    w.commit().unwrap();
+                    i += 1;
+                }
+            })
+        };
+        // Vacuumer: tightens the horizon as aggressively as possible.
+        let vacuumer = {
+            let db = db.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    db.vacuum();
+                }
+            })
+        };
+        // Readers racing begin() against the writer+vacuumer: the row
+        // has existed since before any thread started, so every snapshot
+        // must see *some* version of it.
+        for _ in 0..2_000 {
+            let r = db.begin();
+            assert!(
+                r.get(t, rid).unwrap().is_some(),
+                "snapshot observed a vacuumed-away row: begin/vacuum race"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        vacuumer.join().unwrap();
+    }
+
+    #[test]
+    fn maintenance_auto_vacuums_in_memory_db() {
+        let db = Database::open_in_memory();
+        let t = db.create_table(docs_def()).unwrap();
+        let mut setup = db.begin();
+        let rid = setup.insert(t, doc_row("hot", 1)).unwrap();
+        setup.commit().unwrap();
+        for i in 0..50u64 {
+            let mut w = db.begin();
+            w.set(t, rid, &[("author", Value::Id(i + 2))]).unwrap();
+            w.commit().unwrap();
+        }
+        assert!(db.pruneable_estimate() >= 50);
+        assert!(db.start_maintenance(MaintenanceOptions {
+            interval: std::time::Duration::from_millis(1),
+            vacuum_pruneable: 10,
+            ..MaintenanceOptions::default()
+        }));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while db.stats().maintenance_vacuums == 0 {
+            assert!(std::time::Instant::now() < deadline, "auto-vacuum never ran");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(db.stats().versions_pruned >= 50);
+        assert_eq!(db.pruneable_estimate(), 0);
+        assert!(db.stop_maintenance());
+        assert!(!db.stop_maintenance(), "second stop must be a no-op");
+    }
+
+    #[test]
+    fn maintenance_thread_exits_when_database_drops() {
+        let db = Database::open_in_memory();
+        assert!(db.start_maintenance(MaintenanceOptions {
+            interval: std::time::Duration::from_millis(1),
+            ..MaintenanceOptions::default()
+        }));
+        assert!(!db.start_maintenance(MaintenanceOptions::default()));
+        // DbInner::drop joins the thread; returning from this test
+        // without hanging is the assertion.
+        drop(db);
     }
 
     #[test]

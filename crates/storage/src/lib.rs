@@ -47,6 +47,7 @@ pub mod clock;
 pub mod db;
 pub mod error;
 pub mod index;
+pub mod maintenance;
 pub mod query;
 pub mod row;
 pub mod schema;
@@ -60,6 +61,7 @@ pub use aggregate::Aggregate;
 pub use clock::ClockMode;
 pub use db::{Database, Options, Stats, TableStats};
 pub use error::{Result, StorageError};
+pub use maintenance::MaintenanceOptions;
 pub use query::{explain, plan_access, AccessPath, Predicate};
 pub use row::{Row, RowId, SharedRow};
 pub use schema::{ColumnDef, IndexDef, TableDef, TableId};

@@ -254,6 +254,12 @@ impl TableStore {
         self.chains.values().map(Vec::len).sum()
     }
 
+    /// Number of distinct rows with at least one stored version.
+    /// `version_count() - chain_count()` bounds what vacuum can reclaim.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
     /// Prune versions no snapshot at or after `horizon` can see, then
     /// rebuild indexes from the surviving versions.
     ///

@@ -123,6 +123,13 @@ impl GroupWal {
         if !self.group {
             let mut st = self.state.lock();
             Self::check_poison(&st)?;
+            // Inline writes go straight to the file; during a checkpoint
+            // rewrite that file is about to be replaced, so acking a write
+            // to it would lose the record at the rename. Wait out the swap.
+            while st.rewriting {
+                self.cv.wait(&mut st);
+                Self::check_poison(&st)?;
+            }
             st.enqueued += 1;
             let seq = st.enqueued;
             drop(st);
@@ -212,34 +219,82 @@ impl GroupWal {
         }
     }
 
-    /// Replace the log contents with a checkpoint snapshot.
+    /// Checkpoint copy phase. Must be called with the database commit
+    /// lock held: every record enqueued so far was published under that
+    /// same lock, so the table snapshot the caller is about to take
+    /// captures all of them and the pending batch frames are redundant —
+    /// they are discarded here. Quiesces any in-flight flush leader (a
+    /// leader finishing *after* the swap would append pre-snapshot frames
+    /// to the new file, duplicating records) and marks the log as
+    /// rewriting, which parks flushes and inline writes until
+    /// [`GroupWal::finish_rewrite`]. Enqueues in group mode stay free:
+    /// the commit critical section never stalls on a checkpoint.
     ///
-    /// Must be called with the database commit lock held (so no record
-    /// can be enqueued mid-rewrite; anything already pending was
-    /// published under that same lock and is therefore captured by the
-    /// snapshot, making the pending frames redundant). Quiesces any
-    /// in-flight flush, discards the pending batch, rewrites the file
-    /// atomically, and only then advances the durable horizon — a crash
-    /// before the rewrite's rename leaves the old log intact, which is
-    /// why waiters are held off (via `rewriting`) rather than released
-    /// when the batch is discarded.
-    pub fn checkpoint(&self, records: &[WalRecord]) -> Result<()> {
+    /// Every `begin_rewrite` that returns `Ok` **must** be paired with a
+    /// `finish_rewrite`, or the log wedges with `rewriting` set.
+    pub fn begin_rewrite(&self) -> Result<()> {
         let mut st = self.state.lock();
-        Self::check_poison(&st)?;
+        loop {
+            Self::check_poison(&st)?;
+            if !st.rewriting {
+                break;
+            }
+            // Another checkpoint is mid-swap. Its finish_rewrite needs no
+            // lock we hold, so waiting here cannot deadlock.
+            self.cv.wait(&mut st);
+        }
         st.rewriting = true;
         while st.leader_active {
             self.cv.wait(&mut st);
         }
         st.buf.clear();
         st.pending = 0;
-        let hi = st.enqueued;
-        drop(st);
+        Ok(())
+    }
+
+    /// Checkpoint swap phase: rewrite the file to `records` atomically,
+    /// then splice everything committed during the rewrite (it piled up
+    /// in the batch buffer) onto the new log's tail and release waiters.
+    /// Called with **no** database locks held — the rewrite I/O is the
+    /// expensive part and runs entirely off the commit path. Commits that
+    /// happened mid-rewrite have timestamps after the snapshot's `Meta`,
+    /// so replay order stays consistent: snapshot first, tail second.
+    ///
+    /// A crash before the rewrite's rename leaves the old log intact
+    /// (pre-checkpoint state); after the rename, the new log replays the
+    /// snapshot plus whatever prefix of the tail made it to disk — never
+    /// a hybrid. That is why the durable horizon only advances here.
+    pub fn finish_rewrite(&self, records: &[WalRecord]) -> Result<()> {
         let res = self.file.lock().rewrite(records);
         let mut st = self.state.lock();
+        if let Err(e) = res {
+            st.rewriting = false;
+            return Err(self.poison_with(&mut st, e));
+        }
+        // Splice the mid-rewrite tail. `rewriting` is still set, so no
+        // flush leader can interleave with this append.
+        let buf = std::mem::take(&mut st.buf);
+        let tail_records = std::mem::take(&mut st.pending);
+        let hi = st.enqueued;
+        drop(st);
+        let splice = if buf.is_empty() {
+            Ok(())
+        } else {
+            self.file.lock().append_batch(&buf, tail_records, self.durability)
+        };
+        let mut st = self.state.lock();
         st.rewriting = false;
-        match res {
+        match splice {
             Ok(()) => {
                 st.durable = st.durable.max(hi);
+                if tail_records > 0 {
+                    self.batches_flushed.fetch_add(1, Ordering::Relaxed);
+                    self.records_flushed.fetch_add(tail_records, Ordering::Relaxed);
+                    if self.durability == DurabilityLevel::Fsync {
+                        self.fsyncs_saved
+                            .fetch_add(tail_records.saturating_sub(1), Ordering::Relaxed);
+                    }
+                }
                 self.cv.notify_all();
                 Ok(())
             }
@@ -247,10 +302,26 @@ impl GroupWal {
         }
     }
 
+    /// Replace the log contents with a checkpoint snapshot: the copy and
+    /// swap phases back to back. Must be called with the database commit
+    /// lock held across the whole call (the stop-the-world variant; the
+    /// database itself uses the split form to keep the lock short).
+    pub fn checkpoint(&self, records: &[WalRecord]) -> Result<()> {
+        self.begin_rewrite()?;
+        self.finish_rewrite(records)
+    }
+
     /// Number of records appended to the underlying file since open
     /// (not counting frames still in the batch buffer).
     pub fn records_written(&self) -> u64 {
         self.file.lock().records_written()
+    }
+
+    /// `(bytes, records)` written to the underlying file since it was
+    /// opened or last rewritten — the growth the checkpoint budget caps.
+    pub fn size(&self) -> (u64, u64) {
+        let f = self.file.lock();
+        (f.bytes_written(), f.records_written())
     }
 
     fn check_poison(st: &GroupState) -> Result<()> {

@@ -22,6 +22,7 @@ pub struct WalFile {
     writer: BufWriter<File>,
     durability: DurabilityLevel,
     records_written: u64,
+    bytes_written: u64,
 }
 
 impl WalFile {
@@ -37,6 +38,7 @@ impl WalFile {
             writer: BufWriter::new(file),
             durability,
             records_written: 0,
+            bytes_written: 0,
         })
     }
 
@@ -52,6 +54,13 @@ impl WalFile {
         self.records_written
     }
 
+    /// Bytes appended (or rewritten) since this handle was opened. Both
+    /// counters restart at open, so for a recovered log they measure
+    /// *growth* since recovery — exactly what checkpoint budgets want.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
     /// Append one record, honouring the durability level.
     pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
         let frame = encode_frame(rec);
@@ -65,6 +74,7 @@ impl WalFile {
             }
         }
         self.records_written += 1;
+        self.bytes_written += frame.len() as u64;
         Ok(())
     }
 
@@ -90,6 +100,7 @@ impl WalFile {
             }
         }
         self.records_written += records;
+        self.bytes_written += frames.len() as u64;
         Ok(())
     }
 
@@ -107,6 +118,7 @@ impl WalFile {
     /// log — the checkpoint either fully lands or the old log survives.
     pub fn rewrite(&mut self, records: &[WalRecord]) -> Result<()> {
         let tmp = self.path.with_extension("wal.tmp");
+        let mut bytes = 0u64;
         {
             let file = OpenOptions::new()
                 .create(true)
@@ -119,6 +131,7 @@ impl WalFile {
                 w.write_all(&(payload.len() as u32).to_le_bytes())?;
                 w.write_all(&crc32(&payload).to_le_bytes())?;
                 w.write_all(&payload)?;
+                bytes += 8 + payload.len() as u64;
             }
             w.flush()?;
             w.get_ref().sync_data()?;
@@ -132,6 +145,7 @@ impl WalFile {
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
         self.records_written = records.len() as u64;
+        self.bytes_written = bytes;
         Ok(())
     }
 

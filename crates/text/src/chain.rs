@@ -45,6 +45,28 @@ pub struct Chain {
     root: usize,
 }
 
+/// A structural edit referenced a character the cache doesn't agree on.
+/// Both variants mean the cache is incoherent with the database — the
+/// caller's recovery is a refresh/rebuild, not a data-level fixup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// `insert_after` was asked to add an id already in the chain.
+    DuplicateId(CharId),
+    /// The insertion anchor is not in the chain (stale anchor).
+    UnknownAnchor(CharId),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::DuplicateId(id) => write!(f, "duplicate chain insert of {id}"),
+            ChainError::UnknownAnchor(id) => write!(f, "anchor {id} not in chain"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
 /// Deterministic priority: SplitMix64 of the character id. Char ids are
 /// allocated sequentially, and SplitMix64 scatters them uniformly, which
 /// is exactly what a treap needs — no RNG state to carry around.
@@ -64,15 +86,17 @@ impl Chain {
         }
     }
 
-    /// Build from the full chain in order (id, visible).
-    pub fn build(items: impl IntoIterator<Item = (CharId, bool)>) -> Self {
+    /// Build from the full chain in order (id, visible). Fails on a
+    /// duplicate id (the anchor is always the previous item, so it can
+    /// never be unknown).
+    pub fn build(items: impl IntoIterator<Item = (CharId, bool)>) -> Result<Self, ChainError> {
         let mut chain = Chain::new();
         let mut last: Option<CharId> = None;
         for (id, visible) in items {
-            chain.insert_after(last, id, visible);
+            chain.insert_after(last, id, visible)?;
             last = Some(id);
         }
-        chain
+        Ok(chain)
     }
 
     /// Total chain length, tombstones included.
@@ -287,17 +311,28 @@ impl Chain {
     /// Insert `id` immediately after `anchor` in the total order (`None`
     /// inserts at the chain head).
     ///
-    /// # Panics
-    /// Panics if `anchor` is not in the chain or `id` already is — both
-    /// indicate a cache-coherence bug, not a data condition.
-    pub fn insert_after(&mut self, anchor: Option<CharId>, id: CharId, visible: bool) {
-        assert!(!self.map.contains_key(&id), "duplicate chain insert of {id}");
+    /// Returns [`ChainError`] if `anchor` is not in the chain or `id`
+    /// already is. Both indicate the cache has drifted from the
+    /// database — in a shared collab server that happens when a remote
+    /// effect outruns a session's view, so it must be a recoverable
+    /// (refresh + retry) condition, not a process abort. The
+    /// `debug_assert!`s keep the old fail-fast behaviour in debug builds
+    /// at call sites that have already validated their anchors.
+    pub fn insert_after(
+        &mut self,
+        anchor: Option<CharId>,
+        id: CharId,
+        visible: bool,
+    ) -> Result<(), ChainError> {
+        if self.map.contains_key(&id) {
+            return Err(ChainError::DuplicateId(id));
+        }
         let rank = match anchor {
             None => 0,
-            Some(a) => self
-                .total_rank(a)
-                .unwrap_or_else(|| panic!("anchor {a} not in chain"))
-                + 1,
+            Some(a) => match self.total_rank(a) {
+                Some(r) => r + 1,
+                None => return Err(ChainError::UnknownAnchor(a)),
+            },
         };
         let n = self.nodes.len();
         self.nodes.push(Node {
@@ -317,6 +352,7 @@ impl Chain {
         if self.root != NIL {
             self.nodes[self.root].parent = NIL;
         }
+        Ok(())
     }
 
     /// Toggle visibility (delete = false, undelete = true). Returns the
@@ -411,7 +447,7 @@ mod tests {
 
     #[test]
     fn build_and_iterate() {
-        let c = Chain::build([(CharId(1), true), (CharId(2), false), (CharId(3), true)]);
+        let c = Chain::build([(CharId(1), true), (CharId(2), false), (CharId(3), true)]).unwrap();
         assert_eq!(c.total_len(), 3);
         assert_eq!(c.visible_len(), 2);
         assert_eq!(c.iter_total(), ids(&[1, 2, 3]));
@@ -422,9 +458,9 @@ mod tests {
     #[test]
     fn insert_at_head_and_after() {
         let mut c = Chain::new();
-        c.insert_after(None, CharId(10), true);
-        c.insert_after(None, CharId(20), true); // new head
-        c.insert_after(Some(CharId(10)), CharId(30), true);
+        c.insert_after(None, CharId(10), true).unwrap();
+        c.insert_after(None, CharId(20), true).unwrap(); // new head
+        c.insert_after(Some(CharId(10)), CharId(30), true).unwrap();
         assert_eq!(c.iter_total(), ids(&[20, 10, 30]));
         c.check_invariants();
     }
@@ -437,7 +473,8 @@ mod tests {
             (CharId(3), true),
             (CharId(4), false),
             (CharId(5), true),
-        ]);
+        ])
+        .unwrap();
         assert_eq!(c.id_at_visible(0), Some(CharId(1)));
         assert_eq!(c.id_at_visible(1), Some(CharId(3)));
         assert_eq!(c.id_at_visible(2), Some(CharId(5)));
@@ -456,7 +493,8 @@ mod tests {
             (CharId(3), true),
             (CharId(4), false),
             (CharId(5), true),
-        ]);
+        ])
+        .unwrap();
         assert_eq!(c.visible_count_through(0), 1); // through id 1
         assert_eq!(c.visible_count_through(1), 1); // tombstone adds nothing
         assert_eq!(c.visible_count_through(2), 2);
@@ -465,7 +503,7 @@ mod tests {
         // Agreement with a naive count for a larger randomized chain.
         let items: Vec<(CharId, bool)> =
             (1..=200u64).map(|i| (CharId(i), i % 3 != 0)).collect();
-        let c = Chain::build(items.clone());
+        let c = Chain::build(items.clone()).unwrap();
         for k in 0..items.len() {
             let naive = items[..=k].iter().filter(|(_, v)| *v).count();
             assert_eq!(c.visible_count_through(k), naive, "at rank {k}");
@@ -474,7 +512,7 @@ mod tests {
 
     #[test]
     fn set_visible_toggles_and_reports_previous() {
-        let mut c = Chain::build([(CharId(1), true), (CharId(2), true)]);
+        let mut c = Chain::build([(CharId(1), true), (CharId(2), true)]).unwrap();
         assert_eq!(c.set_visible(CharId(1), false), Some(true));
         assert_eq!(c.visible_len(), 1);
         assert_eq!(c.id_at_visible(0), Some(CharId(2)));
@@ -492,25 +530,41 @@ mod tests {
             (CharId(2), false),
             (CharId(3), true),
             (CharId(4), true),
-        ]);
+        ])
+        .unwrap();
         assert_eq!(c.visible_range(1, 2), ids(&[3, 4]));
         assert_eq!(c.visible_range(2, 5), ids(&[4])); // clamped at end
         assert!(c.visible_range(9, 2).is_empty());
     }
 
+    /// Regression (stale-anchor panic): incoherent edits must surface as
+    /// recoverable errors, not process aborts — a shared collab server
+    /// would otherwise lose every session to one stale cache.
     #[test]
-    #[should_panic(expected = "duplicate chain insert")]
-    fn duplicate_insert_panics() {
+    fn duplicate_insert_is_an_error_not_a_panic() {
         let mut c = Chain::new();
-        c.insert_after(None, CharId(1), true);
-        c.insert_after(None, CharId(1), true);
+        c.insert_after(None, CharId(1), true).unwrap();
+        assert_eq!(
+            c.insert_after(None, CharId(1), true),
+            Err(ChainError::DuplicateId(CharId(1)))
+        );
+        // The failed insert must not have corrupted the chain.
+        c.check_invariants();
+        assert_eq!(c.total_len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "not in chain")]
-    fn unknown_anchor_panics() {
+    fn unknown_anchor_is_an_error_not_a_panic() {
         let mut c = Chain::new();
-        c.insert_after(Some(CharId(42)), CharId(1), true);
+        assert_eq!(
+            c.insert_after(Some(CharId(42)), CharId(1), true),
+            Err(ChainError::UnknownAnchor(CharId(42)))
+        );
+        c.check_invariants();
+        assert!(c.is_empty());
+        // The rejected id was never registered; inserting it properly works.
+        c.insert_after(None, CharId(1), true).unwrap();
+        assert_eq!(c.total_len(), 1);
     }
 
     #[test]
@@ -521,7 +575,7 @@ mod tests {
         let mut c = Chain::new();
         let mut last = None;
         for i in 1..=n {
-            c.insert_after(last, CharId(i), true);
+            c.insert_after(last, CharId(i), true).unwrap();
             last = Some(CharId(i));
         }
         assert_eq!(c.visible_len(), n as usize);
@@ -561,12 +615,12 @@ mod tests {
                         let id = CharId(next_id);
                         next_id += 1;
                         if model.is_empty() {
-                            chain.insert_after(None, id, true);
+                            chain.insert_after(None, id, true).unwrap();
                             model.insert(0, (id, true));
                         } else {
                             let r = r % (model.len() + 1);
                             let anchor = if r == 0 { None } else { Some(model[r - 1].0) };
-                            chain.insert_after(anchor, id, true);
+                            chain.insert_after(anchor, id, true).unwrap();
                             model.insert(r, (id, true));
                         }
                     }

@@ -243,7 +243,9 @@ impl DocHandle {
                 self.doc
             )));
         }
-        self.chain = Chain::build(order);
+        self.chain = Chain::build(order).map_err(|e| {
+            TextError::ChainCorrupt(format!("rebuilding {}: {e}", self.doc))
+        })?;
         self.cache = cache;
         Ok(())
     }
@@ -286,7 +288,13 @@ impl DocHandle {
     /// handle's own operations) is harmless. Callers must ensure
     /// [`DocHandle::effects_applicable`] (out-of-order delivery is
     /// buffered by the collaboration layer).
-    pub fn apply_remote(&mut self, effects: &[Effect]) {
+    ///
+    /// Returns [`TextError::StaleCache`] if an insert anchor turns out
+    /// to be missing anyway — the cache has drifted from the database
+    /// and the caller should refresh (which supersedes the effects) and
+    /// retry. Nothing has been committed on this path, so the retry is
+    /// safe.
+    pub fn apply_remote(&mut self, effects: &[Effect]) -> Result<()> {
         for e in effects {
             match e {
                 Effect::Insert {
@@ -303,7 +311,14 @@ impl DocHandle {
                     if self.chain.contains(*char) {
                         continue; // echo of our own op or redelivery
                     }
-                    self.chain.insert_after(*prev, *char, true);
+                    // Even with `effects_applicable` vetting, a remote
+                    // stream can outrun this cache (reorder-buffer
+                    // overflow, a peer's incoherent republish): treat a
+                    // bad anchor as a recoverable stale cache, never a
+                    // crash.
+                    if self.chain.insert_after(*prev, *char, true).is_err() {
+                        return Err(TextError::StaleCache(self.doc));
+                    }
                     self.cache.insert(
                         *char,
                         CharInfo {
@@ -340,6 +355,7 @@ impl DocHandle {
                 }
             }
         }
+        Ok(())
     }
 
     /// Validate that `[pos, pos+len)` addresses visible characters.

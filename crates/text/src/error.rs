@@ -44,6 +44,15 @@ pub enum TextError {
     /// The handle's cached view no longer matches the database (another
     /// editor committed at the same spot). Refresh and retry.
     StaleView(DocId),
+    /// The handle's position cache references a character the chain no
+    /// longer agrees on (stale anchor or duplicate insert). Like
+    /// [`TextError::StaleView`] this is transient: refresh the cache
+    /// from the database and retry.
+    StaleCache(DocId),
+    /// An optimistic edit was retried to its attempt limit and every
+    /// attempt hit a transient conflict. Not itself retryable — the
+    /// caller should back off at a coarser granularity.
+    RetriesExhausted { attempts: usize },
     /// The character chain in the database is inconsistent.
     ChainCorrupt(String),
     /// A name that must be unique already exists.
@@ -58,7 +67,9 @@ impl TextError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            TextError::Storage(StorageError::WriteConflict { .. }) | TextError::StaleView(_)
+            TextError::Storage(StorageError::WriteConflict { .. })
+                | TextError::StaleView(_)
+                | TextError::StaleCache(_)
         )
     }
 }
@@ -86,6 +97,12 @@ impl fmt::Display for TextError {
             TextError::NothingToRedo => write!(f, "nothing to redo"),
             TextError::StaleView(doc) => {
                 write!(f, "cached view of {doc} is stale; refresh and retry")
+            }
+            TextError::StaleCache(doc) => {
+                write!(f, "position cache of {doc} is incoherent; refresh and retry")
+            }
+            TextError::RetriesExhausted { attempts } => {
+                write!(f, "edit still conflicting after {attempts} attempts")
             }
             TextError::ChainCorrupt(msg) => write!(f, "character chain corrupt: {msg}"),
             TextError::NameTaken(n) => write!(f, "name `{n}` already taken"),
@@ -120,6 +137,8 @@ mod tests {
             txn: tendax_storage::TxnId(1),
         });
         assert!(conflict.is_retryable());
+        assert!(TextError::StaleCache(DocId(1)).is_retryable());
+        assert!(!TextError::RetriesExhausted { attempts: 16 }.is_retryable());
         assert!(!TextError::NothingToUndo.is_retryable());
         assert!(!TextError::Storage(StorageError::UnknownTable("x".into())).is_retryable());
     }

@@ -454,9 +454,18 @@ impl DocHandle {
         }
         let mut ins_effects = Vec::with_capacity(new_ids.len());
         let mut anchor = dst_prev;
+        let mut dst_stale = false;
         for (i, (src_char, ch)) in moved.into_iter().enumerate() {
             let id = new_ids[i];
-            dst.chain.insert_after(anchor, id, true);
+            // This runs *after* the commit succeeded: the database holds
+            // the edit whatever the cache thinks, so a bad anchor here
+            // must not surface as a retryable error (a retry would apply
+            // the edit twice). Self-heal by rebuilding the cache below
+            // and still return the receipt. For our own just-committed
+            // ids this is unreachable — hence the debug_assert.
+            let inserted = dst.chain.insert_after(anchor, id, true);
+            debug_assert!(inserted.is_ok(), "own committed insert rejected: {inserted:?}");
+            dst_stale |= inserted.is_err();
             dst.cache.insert(
                 id,
                 CharInfo {
@@ -483,6 +492,9 @@ impl DocHandle {
                 external: None,
             });
             anchor = Some(id);
+        }
+        if dst_stale {
+            dst.rebuild()?;
         }
         Ok((
             EditReceipt {
@@ -711,9 +723,15 @@ impl DocHandle {
         // Publish to the local cache and build broadcast effects.
         let mut effects = Vec::with_capacity(ids.len());
         let mut anchor = prev_id;
+        let mut stale = false;
         for (i, nc) in chars.into_iter().enumerate() {
             let id = ids[i];
-            self.chain.insert_after(anchor, id, true);
+            // Post-commit: the edit is durable, so cache trouble here is
+            // self-healed (rebuild below), never surfaced as retryable —
+            // a retry would commit the insert a second time.
+            let inserted = self.chain.insert_after(anchor, id, true);
+            debug_assert!(inserted.is_ok(), "own committed insert rejected: {inserted:?}");
+            stale |= inserted.is_err();
             self.cache.insert(
                 id,
                 CharInfo {
@@ -740,6 +758,9 @@ impl DocHandle {
                 external: nc.external,
             });
             anchor = Some(id);
+        }
+        if stale {
+            self.rebuild()?;
         }
         Ok(EditReceipt {
             op,
@@ -1150,21 +1171,21 @@ mod tests {
         let mut h2 = tdb.open(doc, u2).unwrap();
 
         let r1 = h1.insert_text(0, "hello").unwrap();
-        h2.apply_remote(&r1.effects);
+        h2.apply_remote(&r1.effects).unwrap();
         assert_eq!(h2.text(), "hello");
 
         let r2 = h2.insert_text(5, "!").unwrap();
-        h1.apply_remote(&r2.effects);
+        h1.apply_remote(&r2.effects).unwrap();
         assert_eq!(h1.text(), "hello!");
 
         // Echo of one's own op is harmless.
-        h1.apply_remote(&r1.effects);
+        h1.apply_remote(&r1.effects).unwrap();
         assert_eq!(h1.text(), "hello!");
 
         let r3 = h1.delete_range(0, 1).unwrap();
-        h2.apply_remote(&r3.effects);
+        h2.apply_remote(&r3.effects).unwrap();
         assert_eq!(h2.text(), "ello!");
-        h2.apply_remote(&r3.effects); // redelivery is idempotent
+        h2.apply_remote(&r3.effects).unwrap(); // redelivery is idempotent
         assert_eq!(h2.text(), "ello!");
     }
 

@@ -70,7 +70,12 @@ impl DocHandle {
         )?;
         let op = self.log_op(&mut txn, "undo", target, ts)?;
         let commit_ts = txn.commit()?;
-        self.apply_remote(&effects);
+        // Post-commit: the undo is durable. If the cache rejects its own
+        // effects, rebuild instead of surfacing a retryable error (a
+        // retry would undo twice).
+        if self.apply_remote(&effects).is_err() {
+            self.rebuild()?;
+        }
         Ok(EditReceipt {
             op,
             commit_ts,
@@ -96,7 +101,9 @@ impl DocHandle {
         txn.set(t.oplog, undo_op.row(), &[("undone", Value::Bool(true))])?;
         let op = self.log_op(&mut txn, "redo", undo_op, ts)?;
         let commit_ts = txn.commit()?;
-        self.apply_remote(&effects);
+        if self.apply_remote(&effects).is_err() {
+            self.rebuild()?;
+        }
         Ok(EditReceipt {
             op,
             commit_ts,
@@ -306,7 +313,7 @@ mod tests {
         ha.insert_text(0, "alice ").unwrap();
         let mut hb = tdb.open(doc, bob).unwrap();
         hb.insert_text(6, "bob").unwrap();
-        ha.apply_remote(&[]); // no-op; alice's view is stale but undo is id-based
+        ha.apply_remote(&[]).unwrap(); // no-op; alice's view is stale but undo is id-based
         // Alice's local undo must remove HER text, not Bob's.
         let receipt = ha.undo().unwrap();
         assert_eq!(receipt.effects.len(), 6);

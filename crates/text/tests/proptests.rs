@@ -217,7 +217,7 @@ proptest! {
                     Err(_) => continue,
                 },
             };
-            watcher.apply_remote(&receipt.effects);
+            watcher.apply_remote(&receipt.effects).unwrap();
             prop_assert_eq!(ha.text(), hb.text());
         }
     }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the sustained-ingest maintenance benchmark (experiment A6) and
+# append its one-line JSON summary to bench_results/maintenance.json
+# (one line per run, newest last), so regressions show up as a diffable
+# series.
+# Usage: scripts/bench_maintenance.sh [--test]   (--test: small quick run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p bench_results
+out="$PWD/bench_results/maintenance.json"
+
+echo "==> cargo bench -p tendax-bench --bench maintenance"
+# cargo runs the bench with the package dir as CWD; pass an absolute path.
+cargo bench -p tendax-bench --bench maintenance -- --json "$out" "$@"
+
+echo "==> appended to bench_results/maintenance.json:"
+tail -n 1 "$out"

@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> crash-injection suite (checkpoint/maintenance + WAL recovery)"
+cargo test -q -p tendax-storage --test maintenance --test recovery_faults
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
