@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use tendax_text::{DocId, Effect, OpId, UserId};
 
@@ -41,7 +41,7 @@ pub struct DocEvent {
 struct Subscriber {
     doc: DocId,
     latency: Duration,
-    tx: Sender<(Instant, DocEvent)>,
+    tx: Sender<(Instant, Arc<DocEvent>)>,
 }
 
 #[derive(Debug, Default)]
@@ -85,8 +85,12 @@ impl LanBus {
         }
     }
 
-    /// Broadcast an event to all subscribers of its document.
+    /// Broadcast an event to all subscribers of its document. The
+    /// payload (including its `Vec<Effect>`) is allocated once and
+    /// shared: fan-out to N editors is N `Arc` clones, not N deep
+    /// copies of the effect list.
     pub fn publish(&self, event: DocEvent) {
+        let event = Arc::new(event);
         let mut inner = self.inner.lock();
         inner.published += 1;
         let now = Instant::now();
@@ -96,7 +100,7 @@ impl LanBus {
             }
             let deliver_at = now + sub.latency;
             // A closed channel means the subscription was dropped.
-            sub.tx.send((deliver_at, event.clone())).is_ok()
+            sub.tx.send((deliver_at, Arc::clone(&event))).is_ok()
         });
     }
 
@@ -119,15 +123,15 @@ impl LanBus {
 #[derive(Debug)]
 pub struct Subscription {
     id: u64,
-    rx: Receiver<(Instant, DocEvent)>,
+    rx: Receiver<(Instant, Arc<DocEvent>)>,
     /// Messages received from the channel but not yet past their latency.
-    pending: Vec<(Instant, DocEvent)>,
+    pending: Vec<(Instant, Arc<DocEvent>)>,
     bus: LanBus,
 }
 
 impl Subscription {
     /// Events whose simulated latency has elapsed, in publish order.
-    pub fn poll(&mut self) -> Vec<DocEvent> {
+    pub fn poll(&mut self) -> Vec<Arc<DocEvent>> {
         while let Ok(msg) = self.rx.try_recv() {
             self.pending.push(msg);
         }
@@ -150,16 +154,36 @@ impl Subscription {
         ready
     }
 
-    /// Wait (really sleep) until at least one event is deliverable or the
-    /// timeout expires, then poll.
-    pub fn poll_timeout(&mut self, timeout: Duration) -> Vec<DocEvent> {
+    /// Wait until at least one event is deliverable or the timeout
+    /// expires, then poll. No blind polling ticks: the wait blocks on
+    /// the channel (a fresh publish wakes it immediately) for
+    /// `min(deadline, earliest pending deliver_at)` — exactly as long
+    /// as there can be nothing to deliver.
+    pub fn poll_timeout(&mut self, timeout: Duration) -> Vec<Arc<DocEvent>> {
         let deadline = Instant::now() + timeout;
         loop {
             let ready = self.poll();
-            if !ready.is_empty() || Instant::now() >= deadline {
+            if !ready.is_empty() {
                 return ready;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            let now = Instant::now();
+            if now >= deadline {
+                return ready;
+            }
+            let mut wake = deadline;
+            if let Some(at) = self.pending.iter().map(|(at, _)| *at).min() {
+                wake = wake.min(at);
+            }
+            let wait = wake.saturating_duration_since(now);
+            match self.rx.recv_timeout(wait) {
+                Ok(msg) => self.pending.push(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The bus is gone; nothing new can arrive. Sleep out
+                    // the latency gate on whatever is already pending.
+                    std::thread::sleep(wait);
+                }
+            }
         }
     }
 
@@ -239,6 +263,54 @@ mod tests {
         let got = sub.poll();
         let ops: Vec<u64> = got.iter().map(|e| e.op.0).collect();
         assert_eq!(ops, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fanout_shares_one_payload_across_subscribers() {
+        use tendax_text::CharId;
+        let bus = LanBus::new();
+        let mut subs: Vec<Subscription> = (0..16)
+            .map(|_| bus.subscribe(DocId(1), Duration::ZERO))
+            .collect();
+        let mut ev = event(1, 10);
+        ev.effects = vec![Effect::Delete {
+            char: CharId(7),
+            by: UserId(1),
+            ts: 1,
+        }];
+        bus.publish(ev);
+        let received: Vec<Arc<DocEvent>> = subs
+            .iter_mut()
+            .map(|s| s.poll().remove(0))
+            .collect();
+        // Every subscriber got a handle to the *same* allocation — the
+        // effects vector was never copied per subscriber.
+        for pair in received.windows(2) {
+            assert!(
+                Arc::ptr_eq(&pair[0], &pair[1]),
+                "fan-out must share one payload"
+            );
+        }
+        assert_eq!(Arc::strong_count(&received[0]), 16);
+    }
+
+    #[test]
+    fn poll_timeout_wakes_on_publish_without_spinning() {
+        let bus = LanBus::new();
+        let mut sub = bus.subscribe(DocId(1), Duration::ZERO);
+        let publisher = {
+            let bus = bus.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                bus.publish(event(1, 1));
+            })
+        };
+        let start = Instant::now();
+        let got = sub.poll_timeout(Duration::from_secs(5));
+        publisher.join().unwrap();
+        assert_eq!(got.len(), 1);
+        // Delivered on the publish wake-up, nowhere near the timeout.
+        assert!(start.elapsed() < Duration::from_secs(1));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! behaviour the TeNDaX editor exhibits when several people type into the
 //! same paragraph.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -168,7 +169,7 @@ pub struct EditorDoc {
     cursor_anchor: Option<tendax_text::CharId>,
     /// Events whose dependencies have not arrived yet (publication order
     /// on the bus can differ slightly from commit order).
-    reorder: Vec<DocEvent>,
+    reorder: Vec<Arc<DocEvent>>,
     stats: EditorStats,
 }
 
@@ -224,7 +225,7 @@ impl EditorDoc {
         self.apply_events(events)
     }
 
-    fn apply_events(&mut self, events: Vec<DocEvent>) -> usize {
+    fn apply_events(&mut self, events: Vec<Arc<DocEvent>>) -> usize {
         let mut applied = 0;
         let floor = self.handle.synced_ts();
         for ev in events {
@@ -756,7 +757,7 @@ mod tests {
             effects: r.effects.clone(),
         };
         // Deliver f before e: the reorder buffer must hold f until e.
-        dc.apply_events(vec![mk(&r6, "insert"), mk(&r5, "insert")]);
+        dc.apply_events(vec![Arc::new(mk(&r6, "insert")), Arc::new(mk(&r5, "insert"))]);
         assert_eq!(dc.text(), "abcdef");
         let _ = (r1, r2, r3, r4);
     }
@@ -779,7 +780,7 @@ mod tests {
             kind: "insert".into(),
             effects: r.effects.clone(),
         };
-        let applied = db.apply_events(vec![ev]);
+        let applied = db.apply_events(vec![Arc::new(ev)]);
         assert_eq!(applied, 0);
         assert_eq!(db.text(), "x");
     }
@@ -925,7 +926,7 @@ mod tests {
         };
         // The vet rejects it (unknown anchor), so it parks in the
         // reorder buffer rather than panicking...
-        da.apply_events(vec![ev.clone()]);
+        da.apply_events(vec![Arc::new(ev.clone())]);
         assert_eq!(da.text(), "solid");
         // ...and a direct apply (the path a vet false-positive would
         // take) returns StaleCache instead of crashing.

@@ -8,6 +8,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::{Mutex, RwLock};
 
 use crate::clock::{Clock, ClockMode};
+use crate::commit::{CommitLatch, CommitSequencer};
 use crate::error::{Result, StorageError};
 use crate::maintenance::{MaintenanceOptions, MaintenanceTask};
 use crate::row::RowId;
@@ -73,6 +74,17 @@ pub struct Stats {
     pub maintenance_checkpoints: u64,
     /// Versions reclaimed by vacuum (manual and automatic).
     pub versions_pruned: u64,
+    /// Total nanoseconds commits spent blocked on the pipeline: waiting
+    /// out DDL / checkpoint quiesce on the commit latch, plus the
+    /// commit wait for the watermark to cover the new timestamp.
+    pub commit_wait_ns: u64,
+    /// Max gap observed between a freshly allocated commit timestamp
+    /// and the snapshot watermark: how far commits have run ahead of
+    /// the slowest in-flight publisher.
+    pub watermark_lag_max: u64,
+    /// DDL / checkpoint quiesces that had to wait for in-flight
+    /// commits to drain.
+    pub ddl_stalls: u64,
 }
 
 /// Per-table statistics (monitoring, planner diagnostics).
@@ -106,12 +118,20 @@ pub(crate) struct DbInner {
     catalog: RwLock<Catalog>,
     tables: RwLock<BTreeMap<TableId, Arc<RwLock<TableStore>>>>,
     clock: Clock,
-    last_commit_ts: AtomicU64,
+    /// Commit-timestamp allocator + contiguous-prefix watermark. The
+    /// watermark (not a raw "last commit ts") is what snapshots read:
+    /// it advances only when every lower timestamp has published, so a
+    /// snapshot never has a gap even while commits publish out of
+    /// timestamp order.
+    sequencer: CommitSequencer,
     next_txn_id: AtomicU64,
     /// Active transactions and their snapshots (for the vacuum horizon).
     active: Mutex<BTreeMap<TxnId, Ts>>,
-    /// Serializes commit validation/publication and DDL.
-    commit_lock: Mutex<()>,
+    /// Shared/exclusive pipeline latch: commits enter shared and run
+    /// concurrently (serializing only on the per-table locks they
+    /// write); DDL and the checkpoint copy phase enter exclusive,
+    /// quiescing the pipeline.
+    commit_latch: CommitLatch,
     /// Set once at open for durable databases; never set for in-memory.
     wal: OnceLock<GroupWal>,
     counters: Counters,
@@ -151,10 +171,10 @@ impl Database {
                 catalog: RwLock::new(Catalog::new()),
                 tables: RwLock::new(BTreeMap::new()),
                 clock: Clock::new(clock),
-                last_commit_ts: AtomicU64::new(0),
+                sequencer: CommitSequencer::new(0),
                 next_txn_id: AtomicU64::new(1),
                 active: Mutex::new(BTreeMap::new()),
-                commit_lock: Mutex::new(()),
+                commit_latch: CommitLatch::new(),
                 wal: OnceLock::new(),
                 counters: Counters::default(),
                 path,
@@ -179,9 +199,16 @@ impl Database {
         // valid frame is a crashed partial write.
         WalFile::truncate(&path, valid_len)?;
         let wal = WalFile::open(&path, options.durability)?;
+        // The WAL's drain cursor starts at the recovered watermark so
+        // the first post-restart commit (watermark + 1) drains first.
         db.inner
             .wal
-            .set(GroupWal::new(wal, options.durability, options.group_commit))
+            .set(GroupWal::new(
+                wal,
+                options.durability,
+                options.group_commit,
+                db.last_commit_ts(),
+            ))
             .expect("wal set once at open");
         if let Some(m) = options.maintenance {
             db.start_maintenance(m);
@@ -195,9 +222,7 @@ impl Database {
         for rec in records {
             match rec {
                 WalRecord::Meta { next_ts, clock } => {
-                    self.inner
-                        .last_commit_ts
-                        .store(next_ts.saturating_sub(1), Ordering::Relaxed);
+                    self.inner.sequencer.observe(next_ts.saturating_sub(1));
                     self.inner.clock.observe(clock);
                 }
                 WalRecord::CreateTable { id, def } => {
@@ -227,7 +252,7 @@ impl Database {
                         };
                         store.write().apply(w.row, commit_ts, op);
                     }
-                    bump_max(&self.inner.last_commit_ts, commit_ts);
+                    self.inner.sequencer.observe(commit_ts);
                 }
                 WalRecord::SnapshotRow {
                     table,
@@ -246,7 +271,7 @@ impl Database {
                         WalOp::Delete => VersionOp::Delete,
                     };
                     store.write().apply(row, commit_ts, op);
-                    bump_max(&self.inner.last_commit_ts, commit_ts);
+                    self.inner.sequencer.observe(commit_ts);
                 }
                 WalRecord::Watermark { table, next_row_id } => {
                     if let Some(store) = tables.get(&table) {
@@ -274,9 +299,11 @@ impl Database {
 
     // ------------------------------------------------------------------ DDL
 
-    /// Create a table. DDL is durable and serialized with commits.
+    /// Create a table. DDL is durable; it quiesces the commit pipeline
+    /// (exclusive latch) so the catalog never changes under a commit's
+    /// feet and its WAL record lands between commit frames.
     pub fn create_table(&self, def: TableDef) -> Result<TableId> {
-        let ddl = self.inner.commit_lock.lock();
+        let ddl = self.inner.commit_latch.exclusive();
         let mut catalog = self.inner.catalog.write();
         let id = catalog.register(def.clone())?;
         self.inner
@@ -292,7 +319,7 @@ impl Database {
 
     /// Drop a table and all of its data.
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        let ddl = self.inner.commit_lock.lock();
+        let ddl = self.inner.commit_latch.exclusive();
         let mut catalog = self.inner.catalog.write();
         let id = catalog.remove(name)?;
         self.inner.tables.write().remove(&id);
@@ -332,7 +359,10 @@ impl Database {
         // is entitled to see.
         let snapshot = {
             let mut active = self.inner.active.lock();
-            let snapshot = self.inner.last_commit_ts.load(Ordering::Acquire);
+            // The watermark, not the newest allocated ts: every commit
+            // at or below it has fully published, across all tables, so
+            // the snapshot is gap-free by construction.
+            let snapshot = self.inner.sequencer.watermark();
             active.insert(id, snapshot);
             snapshot
         };
@@ -355,11 +385,11 @@ impl Database {
             return Ok(txn.snapshot_ts());
         }
 
-        // Serial section: validation, WAL *enqueue*, and version
-        // publication. Durability (the fsync) happens after the lock is
-        // released, so the time one committer spends waiting on the disk
-        // no longer serializes every other committer behind it.
-        let commit = self.inner.commit_lock.lock();
+        // Enter the pipeline in shared mode: commits to disjoint tables
+        // run this entire section concurrently, serializing only on the
+        // write locks of the tables they actually touch. DDL and the
+        // checkpoint copy phase are the exclusive mode that quiesces us.
+        let commit = self.inner.commit_latch.shared();
         // Collect handles, then lock the affected tables in id order
         // (BTreeMap iteration is sorted, so lock order is globally fixed).
         let handles: Vec<(TableId, Arc<RwLock<TableStore>>)> = {
@@ -389,14 +419,24 @@ impl Database {
             }
         }
 
-        let commit_ts = self.inner.last_commit_ts.load(Ordering::Relaxed) + 1;
+        // The timestamp is allocated only *after* validation: a commit
+        // that fails first-committer-wins never occupies a slot in the
+        // watermark's pending window, so conflict aborts by construction
+        // cannot stall snapshots. Allocation happens while we hold the
+        // write locks of every table we touch, which is what keeps each
+        // individual table's version chains applied in timestamp order.
+        let commit_ts = self.inner.sequencer.allocate();
 
-        // WAL enqueue before publication: if staging fails (e.g. the log
+        // WAL staging before publication: if staging fails (e.g. the log
         // is poisoned), nothing became visible and the transaction
-        // aborts cleanly. Enqueueing under the commit lock keeps the log
-        // in commit-timestamp order. The WAL record and the published
-        // version share the buffered row's allocation: a written row is
-        // never copied again after the client handed it to `insert`.
+        // aborts cleanly — the skip/release below hand the timestamp
+        // back so neither the WAL drain cursor nor the watermark waits
+        // forever on a commit that never published. Frames are staged by
+        // timestamp and drained to the file in timestamp order, so the
+        // log replays as a commit-order prefix without a global lock.
+        // The WAL record and the published version share the buffered
+        // row's allocation: a written row is never copied again after
+        // the client handed it to `insert`.
         let wal_writes: Vec<WalWrite> = writes
             .iter()
             .flat_map(|(&table, ws)| {
@@ -410,11 +450,21 @@ impl Database {
                 })
             })
             .collect();
-        let ticket = self.wal_enqueue(&WalRecord::Commit {
+        let rec = WalRecord::Commit {
             txn: txn.id().0,
             commit_ts,
             writes: wal_writes,
-        })?;
+        };
+        let ticket = match self.wal_stage(commit_ts, &rec) {
+            Ok(t) => t,
+            Err(e) => {
+                if let Some(wal) = self.inner.wal.get() {
+                    wal.skip_commit(commit_ts);
+                }
+                self.inner.sequencer.release(commit_ts);
+                return Err(e);
+            }
+        };
 
         for ((tid, _), guard) in handles.iter().zip(guards.iter_mut()) {
             let ws = writes.get(tid).expect("handle exists only for written table");
@@ -428,12 +478,10 @@ impl Database {
             }
         }
         // Past this point the commit cannot be retracted: its versions
-        // are visible to new snapshots. A durability failure below must
-        // not be reported as an abort.
+        // are visible to new snapshots once the watermark folds them in.
+        // A durability failure below must not be reported as an abort.
         txn.published = true;
-        self.inner
-            .last_commit_ts
-            .store(commit_ts, Ordering::Release);
+        self.inner.sequencer.complete(commit_ts);
         self.inner.active.lock().remove(&txn.id());
         self.inner.counters.commits.fetch_add(1, Ordering::Relaxed);
 
@@ -442,15 +490,34 @@ impl Database {
         // the (now free) serial section.
         drop(guards);
         drop(commit);
+        // Commit wait: don't return until the watermark covers our
+        // timestamp, so any transaction begun after commit() returns is
+        // guaranteed to see this commit (read-your-writes across
+        // transactions, exactly the old global-lock contract). Bounded
+        // by concurrent lower-ts publications — memory work — because
+        // every committer resolves its sequencer slot before parking on
+        // durability below.
+        self.inner.sequencer.wait_visible(commit_ts);
         self.wal_wait(ticket)?;
         Ok(commit_ts)
     }
 
-    /// Stage a record with the group-commit coordinator (no-op for an
-    /// in-memory database). Caller must hold the commit lock.
+    /// Stage a non-commit record with the group-commit coordinator
+    /// (no-op for an in-memory database). Caller must hold the commit
+    /// latch in exclusive mode.
     fn wal_enqueue(&self, rec: &WalRecord) -> Result<Option<WalTicket>> {
         match self.inner.wal.get() {
             Some(wal) => Ok(Some(wal.enqueue(rec)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Stage a commit record under its timestamp (no-op for an
+    /// in-memory database). Called while holding the written tables'
+    /// locks; the WAL drains frames in timestamp order on its own.
+    fn wal_stage(&self, commit_ts: Ts, rec: &WalRecord) -> Result<Option<WalTicket>> {
+        match self.inner.wal.get() {
+            Some(wal) => Ok(Some(wal.stage_commit(commit_ts, rec)?)),
             None => Ok(None),
         }
     }
@@ -506,9 +573,10 @@ impl Database {
         self.inner.clock.now()
     }
 
-    /// The newest commit timestamp.
+    /// The newest gap-free commit timestamp (the snapshot watermark):
+    /// every commit at or below it has fully published.
     pub fn last_commit_ts(&self) -> Ts {
-        self.inner.last_commit_ts.load(Ordering::Acquire)
+        self.inner.sequencer.watermark()
     }
 
     /// Prune versions no live snapshot can see. Returns versions pruned.
@@ -519,7 +587,7 @@ impl Database {
                 .values()
                 .copied()
                 .min()
-                .unwrap_or_else(|| self.inner.last_commit_ts.load(Ordering::Acquire))
+                .unwrap_or_else(|| self.inner.sequencer.watermark())
         };
         let tables = self.inner.tables.read();
         let mut pruned = 0;
@@ -535,26 +603,28 @@ impl Database {
 
     /// Compact the WAL to a snapshot of the latest committed state.
     ///
-    /// Two phases. The **copy phase** holds the commit lock just long
-    /// enough to mark the WAL as rewriting and collect one record per
-    /// live row — `SharedRow` handles, so "copying" a table is cloning
-    /// Arcs, not rows. The **swap phase** serializes those records,
-    /// atomically replaces the log file, and splices everything
-    /// committed during the rewrite onto the new tail — all with the
-    /// commit lock *released*, so committers stream through the serial
-    /// section the entire time the checkpoint does I/O.
+    /// Two phases. The **copy phase** quiesces the commit pipeline
+    /// (exclusive latch) just long enough to mark the WAL as rewriting
+    /// and collect one record per live row — `SharedRow` handles, so
+    /// "copying" a table is cloning Arcs, not rows. The **swap phase**
+    /// serializes those records, atomically replaces the log file, and
+    /// splices everything committed during the rewrite onto the new
+    /// tail — all with the latch *released*, so committers stream
+    /// through the pipeline the entire time the checkpoint does I/O.
     pub fn checkpoint(&self) -> Result<()> {
         let Some(wal) = self.inner.wal.get() else {
             return Ok(()); // in-memory database: nothing to do
         };
         // ---------------------------------------------------- copy phase
         let records = {
-            let _commit = self.inner.commit_lock.lock();
+            let _quiesce = self.inner.commit_latch.exclusive();
             wal.begin_rewrite()?;
             let catalog = self.inner.catalog.read();
             let tables = self.inner.tables.read();
+            // Quiesced: no commit is in flight, so the watermark equals
+            // the newest allocated timestamp.
             let mut records = vec![WalRecord::Meta {
-                next_ts: self.inner.last_commit_ts.load(Ordering::Relaxed) + 1,
+                next_ts: self.inner.sequencer.watermark() + 1,
                 clock: self.inner.clock.peek(),
             }];
             for (id, def) in catalog.tables() {
@@ -688,6 +758,10 @@ impl Database {
                 .maintenance_checkpoints
                 .load(Ordering::Relaxed),
             versions_pruned: self.inner.counters.versions_pruned.load(Ordering::Relaxed),
+            commit_wait_ns: self.inner.commit_latch.shared_wait_ns()
+                + self.inner.sequencer.visibility_wait_ns(),
+            watermark_lag_max: self.inner.sequencer.lag_max(),
+            ddl_stalls: self.inner.commit_latch.exclusive_stalls(),
         }
     }
 
@@ -724,16 +798,6 @@ impl Database {
     /// The WAL path, if this database is durable.
     pub fn path(&self) -> Option<&Path> {
         self.inner.path.as_deref()
-    }
-}
-
-fn bump_max(cell: &AtomicU64, seen: u64) {
-    let mut cur = cell.load(Ordering::Relaxed);
-    while cur < seen {
-        match cell.compare_exchange_weak(cur, seen, Ordering::Relaxed, Ordering::Relaxed) {
-            Ok(_) => break,
-            Err(c) => cur = c,
-        }
     }
 }
 

@@ -44,6 +44,7 @@
 
 pub mod aggregate;
 pub mod clock;
+pub(crate) mod commit;
 pub mod db;
 pub mod error;
 pub mod index;

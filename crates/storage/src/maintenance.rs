@@ -12,8 +12,8 @@
 //! * **checkpoint** rewrites the WAL to a snapshot once its growth since
 //!   the previous checkpoint crosses a byte or record budget. The
 //!   checkpoint itself is the copy/swap design in [`crate::db`]: the
-//!   commit lock is held only while Arc-cloning row handles, and the
-//!   file rewrite runs off-lock.
+//!   commit pipeline is quiesced (exclusive commit latch) only while
+//!   Arc-cloning row handles, and the file rewrite runs off-latch.
 //!
 //! The subsystem is opt-in ([`crate::Options::maintenance`]); with it
 //! disabled the engine behaves exactly as before — no thread is

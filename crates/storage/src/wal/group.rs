@@ -1,18 +1,31 @@
 //! Group commit: durability outside the commit critical section.
 //!
-//! The commit pipeline enqueues its WAL record into a shared in-memory
-//! batch while still holding the commit lock (cheap: encode + memcpy),
-//! publishes its versions, releases the lock, and only then waits for the
-//! record to reach disk. The first committer to arrive at
-//! [`GroupWal::wait_durable`] becomes the **flush leader**: it takes the
-//! whole accumulated batch, writes it with a single `write_all` and (at
-//! [`DurabilityLevel::Fsync`]) a single `sync_data`, then wakes every
-//! committer the flush covered. Committers that arrive while a flush is
-//! in flight simply park on the condvar; their records ride in the next
-//! batch. Under concurrency this amortizes the fsync — the dominant cost
-//! of a durable commit — across every transaction in the batch, without
-//! weakening the guarantee: `commit()` still returns only after the
-//! record is durable at the configured level.
+//! Commit records are **staged per-committer** under only the table
+//! locks the transaction holds (no global commit mutex) via
+//! [`GroupWal::stage_commit`], keyed by commit timestamp. A drain cursor
+//! moves staged frames into the shared batch buffer strictly in
+//! commit-timestamp order, advancing only over a contiguous timestamp
+//! prefix — so the *file* always receives frames in commit order even
+//! though committers arrive in any order, and any replayed prefix of the
+//! log is a commit-order prefix. An aborted commit calls
+//! [`GroupWal::skip_commit`] so the cursor steps over its timestamp
+//! instead of wedging.
+//!
+//! Durability still runs on the leader/follower protocol: the first
+//! committer to arrive at [`GroupWal::wait_durable`] becomes the **flush
+//! leader**, takes the whole accumulated batch, writes it with a single
+//! `write_all` and (at [`DurabilityLevel::Fsync`]) a single `sync_data`,
+//! then wakes every committer the flush covered. Committers that arrive
+//! while a flush is in flight park on the condvar; their records ride in
+//! the next batch. Under concurrency this amortizes the fsync — the
+//! dominant cost of a durable commit — across every transaction in the
+//! batch, without weakening the guarantee: `commit()` still returns only
+//! after the record is durable at the configured level.
+//!
+//! Non-commit records (DDL, checkpoint snapshots) use
+//! [`GroupWal::enqueue`], which must be called with the commit pipeline
+//! quiesced (the database's exclusive commit latch) so they interleave
+//! with commit frames at a well-defined point.
 //!
 //! A failed flush **poisons** the log: the error is sticky and every
 //! in-flight and subsequent waiter receives
@@ -21,18 +34,25 @@
 //! memory — so the only honest response is to stop accepting writes
 //! (the same reasoning that makes PostgreSQL PANIC on fsync failure).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::{Result, StorageError};
+use crate::table::Ts;
 use crate::wal::log::encode_frame;
 use crate::wal::{DurabilityLevel, WalFile, WalRecord};
 
-/// Claim ticket for an enqueued record: pass to
+/// Claim ticket for a staged record: pass to
 /// [`GroupWal::wait_durable`] after publication.
 #[derive(Debug, Clone, Copy)]
-pub struct WalTicket(u64);
+pub enum WalTicket {
+    /// Non-commit record (DDL), identified by enqueue sequence number.
+    Seq(u64),
+    /// Commit record, identified by its commit timestamp.
+    Commit(Ts),
+}
 
 /// Flush-side observability counters (surfaced through `Database::stats`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,15 +73,30 @@ const NONE_FLUSH_THRESHOLD: usize = 1 << 20;
 
 #[derive(Debug, Default)]
 struct GroupState {
-    /// Encoded frames enqueued but not yet handed to a flush.
+    /// Encoded frames drained into the batch, not yet handed to a flush.
     buf: Vec<u8>,
     /// Records in `buf`.
     pending: u64,
-    /// Sequence number of the newest enqueued record.
+    /// Sequence number of the newest record added to `buf` (or written
+    /// inline in non-group mode).
     enqueued: u64,
     /// All records with sequence <= this are on disk at the configured
     /// durability level.
     durable: u64,
+    /// Commit frames staged out of order, waiting for every lower
+    /// timestamp to stage too. `None` marks an aborted timestamp the
+    /// drain cursor must step over.
+    staged: BTreeMap<Ts, Option<Vec<u8>>>,
+    /// Non-group mode: drained commit frames awaiting their own
+    /// one-record-per-flush write (the per-commit-flush baseline).
+    inline: Vec<(Ts, Vec<u8>)>,
+    /// Every commit timestamp <= this has left `staged`: its frame is in
+    /// `buf`/`inline`/the file, or it was skipped. The file receives
+    /// commit frames exactly in this cursor's order.
+    drained_ts: Ts,
+    /// Every commit timestamp <= this is on disk at the configured
+    /// durability level (or was skipped / superseded by a checkpoint).
+    durable_ts: Ts,
     /// A flush leader is currently writing outside this lock.
     leader_active: bool,
     /// A checkpoint rewrite is in progress; no one may flush.
@@ -70,8 +105,9 @@ struct GroupState {
     poison: Option<String>,
 }
 
-/// The group-commit write-ahead log: a [`WalFile`] fronted by a shared
-/// batch buffer and a leader/follower flush protocol.
+/// The group-commit write-ahead log: a [`WalFile`] fronted by a
+/// timestamp-ordered staging area, a shared batch buffer, and a
+/// leader/follower flush protocol.
 #[derive(Debug)]
 pub struct GroupWal {
     state: Mutex<GroupState>,
@@ -87,9 +123,21 @@ pub struct GroupWal {
 }
 
 impl GroupWal {
-    pub fn new(file: WalFile, durability: DurabilityLevel, group: bool) -> GroupWal {
+    /// `base_ts` is the newest commit timestamp already in the file
+    /// (the recovered `last_commit_ts`; 0 for a fresh log): the drain
+    /// cursor starts there so the first staged commit is `base_ts + 1`.
+    pub fn new(
+        file: WalFile,
+        durability: DurabilityLevel,
+        group: bool,
+        base_ts: Ts,
+    ) -> GroupWal {
         GroupWal {
-            state: Mutex::new(GroupState::default()),
+            state: Mutex::new(GroupState {
+                drained_ts: base_ts,
+                durable_ts: base_ts,
+                ..GroupState::default()
+            }),
             cv: Condvar::new(),
             file: Mutex::new(file),
             durability,
@@ -112,12 +160,13 @@ impl GroupWal {
         }
     }
 
-    /// Stage a record for the next flush. Must be called with the
-    /// database commit lock held, so enqueue order equals
-    /// commit-timestamp order; the work is bounded by encoding (no I/O).
+    /// Stage a non-commit record (DDL, recovery snapshots). Must be
+    /// called with the commit pipeline quiesced (exclusive commit
+    /// latch), so the frame lands at a well-defined point between
+    /// commit frames.
     ///
     /// In non-group mode this instead writes and syncs the record
-    /// immediately (the per-commit-flush baseline).
+    /// immediately (the per-record-flush baseline).
     pub fn enqueue(&self, rec: &WalRecord) -> Result<WalTicket> {
         let frame = encode_frame(rec);
         if !self.group {
@@ -140,7 +189,7 @@ impl GroupWal {
                     st.durable = st.durable.max(seq);
                     self.batches_flushed.fetch_add(1, Ordering::Relaxed);
                     self.records_flushed.fetch_add(1, Ordering::Relaxed);
-                    Ok(WalTicket(seq))
+                    Ok(WalTicket::Seq(seq))
                 }
                 Err(e) => Err(self.poison_with(&mut st, e)),
             };
@@ -150,29 +199,95 @@ impl GroupWal {
         st.buf.extend_from_slice(&frame);
         st.pending += 1;
         st.enqueued += 1;
-        Ok(WalTicket(st.enqueued))
+        Ok(WalTicket::Seq(st.enqueued))
+    }
+
+    /// Stage a commit record under its commit timestamp. Called while
+    /// the committer still holds its table write locks — the work is
+    /// bounded by encoding (no I/O, no global lock). The frame reaches
+    /// the file only once every lower commit timestamp has staged (or
+    /// skipped): the log stays in commit-timestamp order without the
+    /// committers themselves being serialized.
+    ///
+    /// On error the caller must invoke [`GroupWal::skip_commit`] for
+    /// `ts`, or the drain cursor stalls forever.
+    pub fn stage_commit(&self, ts: Ts, rec: &WalRecord) -> Result<WalTicket> {
+        let frame = encode_frame(rec);
+        let mut st = self.state.lock();
+        Self::check_poison(&st)?;
+        debug_assert!(ts > st.drained_ts, "commit ts staged twice or behind cursor");
+        st.staged.insert(ts, Some(frame));
+        self.drain_staged(&mut st);
+        Ok(WalTicket::Commit(ts))
+    }
+
+    /// Mark `ts` as aborted-after-allocation: the drain cursor steps
+    /// over it instead of waiting for a frame that will never arrive.
+    /// Deliberately ignores poison — releasing the slot must always
+    /// succeed so other committers' frames keep draining.
+    pub fn skip_commit(&self, ts: Ts) {
+        let mut st = self.state.lock();
+        if ts > st.drained_ts {
+            st.staged.insert(ts, None);
+            self.drain_staged(&mut st);
+        }
+    }
+
+    /// Move the contiguous prefix of staged frames into the batch
+    /// buffer (group mode) or the inline queue (baseline mode), in
+    /// commit-timestamp order. Wakes waiters whenever the cursor moves:
+    /// a parked committer may now be flushable, or a parked leader may
+    /// now cover more records.
+    fn drain_staged(&self, st: &mut GroupState) {
+        let mut advanced = false;
+        loop {
+            let next = st.drained_ts + 1;
+            match st.staged.remove(&next) {
+                Some(Some(frame)) => {
+                    if self.group {
+                        st.buf.extend_from_slice(&frame);
+                        st.pending += 1;
+                        st.enqueued += 1;
+                    } else {
+                        st.inline.push((next, frame));
+                    }
+                    st.drained_ts = next;
+                    advanced = true;
+                }
+                Some(None) => {
+                    st.drained_ts = next; // aborted: step over
+                    advanced = true;
+                }
+                None => break,
+            }
+        }
+        if advanced {
+            self.cv.notify_all();
+        }
     }
 
     /// Block until the ticket's record is durable at the configured
-    /// level. Called *after* the commit lock is released; this is where
-    /// the leader/follower protocol runs.
+    /// level. Called with **no** database locks held; this is where the
+    /// leader/follower protocol runs.
     pub fn wait_durable(&self, ticket: WalTicket) -> Result<()> {
+        match ticket {
+            WalTicket::Seq(seq) => self.wait_seq(seq),
+            WalTicket::Commit(ts) if self.group => self.wait_commit_group(ts),
+            WalTicket::Commit(ts) => self.wait_commit_inline(ts),
+        }
+    }
+
+    fn wait_seq(&self, seq: u64) -> Result<()> {
         if !self.group {
             return Ok(()); // already flushed inline by enqueue
         }
         if self.durability == DurabilityLevel::None {
-            // No durability to wait for; drain the batch only when it
-            // gets large, to bound memory.
-            let st = self.state.lock();
-            if st.buf.len() < NONE_FLUSH_THRESHOLD || st.leader_active || st.rewriting {
-                return Ok(());
-            }
-            return self.flush_batch(st).map(drop);
+            return self.opportunistic_drain();
         }
         let mut st = self.state.lock();
         loop {
             Self::check_poison(&st)?;
-            if st.durable >= ticket.0 {
+            if st.durable >= seq {
                 return Ok(());
             }
             if st.leader_active || st.rewriting {
@@ -181,15 +296,64 @@ impl GroupWal {
                 self.cv.wait(&mut st);
                 continue;
             }
-            // Become the leader. Our record was enqueued before we got
-            // here and the batch we take includes everything enqueued so
-            // far, so one successful round always covers our ticket.
+            // Become the leader. Our record entered the batch before we
+            // got here, so one successful round always covers our ticket.
             st = self.flush_batch(st)?;
         }
     }
 
+    fn wait_commit_group(&self, ts: Ts) -> Result<()> {
+        if self.durability == DurabilityLevel::None {
+            return self.opportunistic_drain();
+        }
+        let mut st = self.state.lock();
+        loop {
+            Self::check_poison(&st)?;
+            if st.durable_ts >= ts {
+                return Ok(());
+            }
+            if st.drained_ts < ts || st.leader_active || st.rewriting {
+                // Our frame is still parked behind a lower timestamp, or
+                // a flush/checkpoint is in flight. The drain cursor (or
+                // the finishing leader) wakes us.
+                self.cv.wait(&mut st);
+                continue;
+            }
+            st = self.flush_batch(st)?;
+        }
+    }
+
+    /// Baseline mode: every drained commit frame gets its own
+    /// write+sync, preserving the one-flush-per-record accounting the
+    /// A/B comparison depends on — but still strictly in timestamp
+    /// order via the inline queue.
+    fn wait_commit_inline(&self, ts: Ts) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            Self::check_poison(&st)?;
+            if st.durable_ts >= ts {
+                return Ok(());
+            }
+            if st.leader_active || st.rewriting || st.inline.is_empty() {
+                self.cv.wait(&mut st);
+                continue;
+            }
+            st = self.flush_inline(st)?;
+        }
+    }
+
+    /// `DurabilityLevel::None`: no durability to wait for; drain the
+    /// batch only when it gets large, to bound memory.
+    fn opportunistic_drain(&self) -> Result<()> {
+        let st = self.state.lock();
+        if st.buf.len() < NONE_FLUSH_THRESHOLD || st.leader_active || st.rewriting {
+            return Ok(());
+        }
+        self.flush_batch(st).map(drop)
+    }
+
     /// Leader path: take the batch, write it with the state lock
-    /// released (so committers keep enqueueing during the I/O), publish
+    /// released (so committers keep staging during the I/O), publish
     /// the new durable horizon, wake everyone covered.
     fn flush_batch<'a>(
         &'a self,
@@ -199,6 +363,10 @@ impl GroupWal {
         let buf = std::mem::take(&mut st.buf);
         let records = std::mem::take(&mut st.pending);
         let hi = st.enqueued;
+        // Every commit frame <= drained_ts is in `buf` (or already on
+        // disk), so a successful write makes the cursor's whole prefix
+        // durable.
+        let hi_ts = st.drained_ts;
         drop(st);
         let res = self.file.lock().append_batch(&buf, records, self.durability);
         let mut st = self.state.lock();
@@ -206,6 +374,7 @@ impl GroupWal {
         match res {
             Ok(()) => {
                 st.durable = st.durable.max(hi);
+                st.durable_ts = st.durable_ts.max(hi_ts);
                 self.batches_flushed.fetch_add(1, Ordering::Relaxed);
                 self.records_flushed.fetch_add(records, Ordering::Relaxed);
                 if self.durability == DurabilityLevel::Fsync {
@@ -219,15 +388,52 @@ impl GroupWal {
         }
     }
 
-    /// Checkpoint copy phase. Must be called with the database commit
-    /// lock held: every record enqueued so far was published under that
-    /// same lock, so the table snapshot the caller is about to take
-    /// captures all of them and the pending batch frames are redundant —
-    /// they are discarded here. Quiesces any in-flight flush leader (a
-    /// leader finishing *after* the swap would append pre-snapshot frames
-    /// to the new file, duplicating records) and marks the log as
-    /// rewriting, which parks flushes and inline writes until
-    /// [`GroupWal::finish_rewrite`]. Enqueues in group mode stay free:
+    /// Baseline-mode leader: write each drained frame as its own batch
+    /// (own write, own sync) in timestamp order.
+    fn flush_inline<'a>(
+        &'a self,
+        mut st: parking_lot::MutexGuard<'a, GroupState>,
+    ) -> Result<parking_lot::MutexGuard<'a, GroupState>> {
+        st.leader_active = true;
+        let frames = std::mem::take(&mut st.inline);
+        let hi_ts = st.drained_ts;
+        drop(st);
+        let mut res = Ok(());
+        let mut written = 0u64;
+        {
+            let mut file = self.file.lock();
+            for (_, frame) in &frames {
+                res = file.append_batch(frame, 1, self.durability);
+                if res.is_err() {
+                    break;
+                }
+                written += 1;
+            }
+        }
+        let mut st = self.state.lock();
+        st.leader_active = false;
+        self.batches_flushed.fetch_add(written, Ordering::Relaxed);
+        self.records_flushed.fetch_add(written, Ordering::Relaxed);
+        match res {
+            Ok(()) => {
+                st.durable_ts = st.durable_ts.max(hi_ts);
+                self.cv.notify_all();
+                Ok(st)
+            }
+            Err(e) => Err(self.poison_with(&mut st, e)),
+        }
+    }
+
+    /// Checkpoint copy phase. Must be called with the commit pipeline
+    /// quiesced (exclusive commit latch): every record staged so far
+    /// was published before the latch was granted, so the table
+    /// snapshot the caller is about to take captures all of them and
+    /// the pending batch frames are redundant — they are discarded
+    /// here. Quiesces any in-flight flush leader (a leader finishing
+    /// *after* the swap would append pre-snapshot frames to the new
+    /// file, duplicating records) and marks the log as rewriting, which
+    /// parks flushes and inline writes until
+    /// [`GroupWal::finish_rewrite`]. Staging in group mode stays free:
     /// the commit critical section never stalls on a checkpoint.
     ///
     /// Every `begin_rewrite` that returns `Ok` **must** be paired with a
@@ -247,18 +453,24 @@ impl GroupWal {
         while st.leader_active {
             self.cv.wait(&mut st);
         }
+        debug_assert!(
+            st.staged.is_empty(),
+            "rewrite began with commits mid-critical-section"
+        );
         st.buf.clear();
         st.pending = 0;
+        st.inline.clear();
         Ok(())
     }
 
     /// Checkpoint swap phase: rewrite the file to `records` atomically,
     /// then splice everything committed during the rewrite (it piled up
-    /// in the batch buffer) onto the new log's tail and release waiters.
-    /// Called with **no** database locks held — the rewrite I/O is the
-    /// expensive part and runs entirely off the commit path. Commits that
-    /// happened mid-rewrite have timestamps after the snapshot's `Meta`,
-    /// so replay order stays consistent: snapshot first, tail second.
+    /// in the batch buffer / inline queue) onto the new log's tail and
+    /// release waiters. Called with **no** database locks held — the
+    /// rewrite I/O is the expensive part and runs entirely off the
+    /// commit path. Commits that happened mid-rewrite have timestamps
+    /// after the snapshot's `Meta`, so replay order stays consistent:
+    /// snapshot first, tail second.
     ///
     /// A crash before the rewrite's rename leaves the old log intact
     /// (pre-checkpoint state); after the rename, the new log replays the
@@ -275,18 +487,32 @@ impl GroupWal {
         // flush leader can interleave with this append.
         let buf = std::mem::take(&mut st.buf);
         let tail_records = std::mem::take(&mut st.pending);
+        let inline = std::mem::take(&mut st.inline);
         let hi = st.enqueued;
+        let hi_ts = st.drained_ts;
         drop(st);
-        let splice = if buf.is_empty() {
+        let mut splice = if buf.is_empty() {
             Ok(())
         } else {
             self.file.lock().append_batch(&buf, tail_records, self.durability)
         };
+        let mut inline_written = 0u64;
+        if splice.is_ok() && !inline.is_empty() {
+            let mut file = self.file.lock();
+            for (_, frame) in &inline {
+                splice = file.append_batch(frame, 1, self.durability);
+                if splice.is_err() {
+                    break;
+                }
+                inline_written += 1;
+            }
+        }
         let mut st = self.state.lock();
         st.rewriting = false;
         match splice {
             Ok(()) => {
                 st.durable = st.durable.max(hi);
+                st.durable_ts = st.durable_ts.max(hi_ts);
                 if tail_records > 0 {
                     self.batches_flushed.fetch_add(1, Ordering::Relaxed);
                     self.records_flushed.fetch_add(tail_records, Ordering::Relaxed);
@@ -295,6 +521,8 @@ impl GroupWal {
                             .fetch_add(tail_records.saturating_sub(1), Ordering::Relaxed);
                     }
                 }
+                self.batches_flushed.fetch_add(inline_written, Ordering::Relaxed);
+                self.records_flushed.fetch_add(inline_written, Ordering::Relaxed);
                 self.cv.notify_all();
                 Ok(())
             }
@@ -303,9 +531,9 @@ impl GroupWal {
     }
 
     /// Replace the log contents with a checkpoint snapshot: the copy and
-    /// swap phases back to back. Must be called with the database commit
-    /// lock held across the whole call (the stop-the-world variant; the
-    /// database itself uses the split form to keep the lock short).
+    /// swap phases back to back. Must be called with the commit pipeline
+    /// quiesced across the whole call (the stop-the-world variant; the
+    /// database itself uses the split form to keep the quiesce short).
     pub fn checkpoint(&self, records: &[WalRecord]) -> Result<()> {
         self.begin_rewrite()?;
         self.finish_rewrite(records)
@@ -351,13 +579,38 @@ impl Drop for GroupWal {
     /// commits mid-flight). Errors are ignored: there is no caller left
     /// to surface them to, and `None` promises nothing anyway.
     fn drop(&mut self) {
+        let group = self.group;
         let st = self.state.get_mut();
-        if st.poison.is_some() || st.buf.is_empty() {
+        if st.poison.is_some() {
             return;
         }
-        let buf = std::mem::take(&mut st.buf);
-        let records = std::mem::take(&mut st.pending);
-        let _ = self.file.get_mut().append_batch(&buf, records, self.durability);
+        // Fold the contiguous staged prefix in first (frames parked
+        // behind a committer that never resolved stay behind — writing
+        // them would break the commit-order-prefix invariant).
+        loop {
+            let next = st.drained_ts + 1;
+            match st.staged.remove(&next) {
+                Some(Some(frame)) => {
+                    if group {
+                        st.buf.extend_from_slice(&frame);
+                        st.pending += 1;
+                    } else {
+                        st.inline.push((next, frame));
+                    }
+                    st.drained_ts = next;
+                }
+                Some(None) => st.drained_ts = next,
+                None => break,
+            }
+        }
+        if !st.buf.is_empty() {
+            let buf = std::mem::take(&mut st.buf);
+            let records = std::mem::take(&mut st.pending);
+            let _ = self.file.get_mut().append_batch(&buf, records, self.durability);
+        }
+        for (_, frame) in std::mem::take(&mut st.inline) {
+            let _ = self.file.get_mut().append_batch(&frame, 1, self.durability);
+        }
     }
 }
 
@@ -389,7 +642,7 @@ mod tests {
     }
 
     fn open_group(path: &PathBuf, durability: DurabilityLevel, group: bool) -> GroupWal {
-        GroupWal::new(WalFile::open(path, durability).unwrap(), durability, group)
+        GroupWal::new(WalFile::open(path, durability).unwrap(), durability, group, 0)
     }
 
     #[test]
@@ -479,6 +732,92 @@ mod tests {
         wal.wait_durable(t).unwrap(); // must not block or flush
         assert_eq!(wal.stats().batches_flushed, 0);
         drop(wal); // drop drains the buffer best-effort
+        assert_eq!(WalFile::replay(&path).unwrap(), vec![meta(1)]);
+    }
+
+    #[test]
+    fn out_of_order_staging_hits_the_file_in_ts_order() {
+        let path = tmpfile("ooo.wal");
+        let wal = open_group(&path, DurabilityLevel::Buffered, true);
+        // Stage commit ts 2 *before* ts 1 — arrival order inverted.
+        let t2 = wal.stage_commit(2, &meta(2)).unwrap();
+        let t1 = wal.stage_commit(1, &meta(1)).unwrap();
+        wal.wait_durable(t2).unwrap();
+        wal.wait_durable(t1).unwrap();
+        drop(wal);
+        // The file holds them in timestamp order regardless.
+        assert_eq!(WalFile::replay(&path).unwrap(), vec![meta(1), meta(2)]);
+    }
+
+    #[test]
+    fn skip_steps_cursor_over_aborted_ts() {
+        let path = tmpfile("skip.wal");
+        let wal = open_group(&path, DurabilityLevel::Buffered, true);
+        // ts 2 stages; ts 1 aborts after allocation. Without the skip,
+        // ts 2's frame (and its waiter) would be stuck forever.
+        let t2 = wal.stage_commit(2, &meta(2)).unwrap();
+        wal.skip_commit(1);
+        wal.wait_durable(t2).unwrap();
+        drop(wal);
+        assert_eq!(WalFile::replay(&path).unwrap(), vec![meta(2)]);
+    }
+
+    #[test]
+    fn baseline_mode_orders_and_flushes_per_record() {
+        let path = tmpfile("baseline-ooo.wal");
+        let wal = open_group(&path, DurabilityLevel::Fsync, false);
+        let t3 = wal.stage_commit(3, &meta(3)).unwrap();
+        let t1 = wal.stage_commit(1, &meta(1)).unwrap();
+        let t2 = wal.stage_commit(2, &meta(2)).unwrap();
+        for t in [t1, t2, t3] {
+            wal.wait_durable(t).unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.batches_flushed, 3, "baseline never batches");
+        assert_eq!(s.records_flushed, 3);
+        drop(wal);
+        assert_eq!(
+            WalFile::replay(&path).unwrap(),
+            vec![meta(1), meta(2), meta(3)]
+        );
+    }
+
+    #[test]
+    fn concurrent_staggered_stages_preserve_ts_order() {
+        let path = tmpfile("staggered.wal");
+        let wal = Arc::new(open_group(&path, DurabilityLevel::Buffered, true));
+        let mut handles = Vec::new();
+        for ts in 1..=16u64 {
+            let wal = wal.clone();
+            handles.push(std::thread::spawn(move || {
+                // Higher timestamps tend to stage earlier.
+                std::thread::sleep(std::time::Duration::from_micros(
+                    (17 - ts) * 100,
+                ));
+                let t = wal.stage_commit(ts, &meta(ts)).unwrap();
+                wal.wait_durable(t).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(wal);
+        let replayed = WalFile::replay(&path).unwrap();
+        let expected: Vec<WalRecord> = (1..=16).map(meta).collect();
+        assert_eq!(replayed, expected);
+    }
+
+    #[test]
+    fn drop_writes_only_the_contiguous_staged_prefix() {
+        let path = tmpfile("drop-prefix.wal");
+        {
+            let wal = open_group(&path, DurabilityLevel::None, true);
+            let _ = wal.stage_commit(1, &meta(1)).unwrap();
+            // ts 2 never stages; ts 3 is parked behind the hole.
+            let _ = wal.stage_commit(3, &meta(3)).unwrap();
+        }
+        // Only ts 1 may reach the file: writing ts 3 without ts 2 would
+        // break the commit-order-prefix replay invariant.
         assert_eq!(WalFile::replay(&path).unwrap(), vec![meta(1)]);
     }
 }

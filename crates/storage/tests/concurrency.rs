@@ -1,6 +1,8 @@
 //! Concurrency stress tests: writers racing checkpoints, vacuum, and
 //! each other across real threads. These validate the lock protocol
-//! (commit lock, table locks, WAL mutex) rather than any single feature.
+//! (commit latch, table locks, WAL mutex) rather than any single
+//! feature; `tests/commit_pipeline.rs` covers the sharded-pipeline
+//! invariants specifically.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -2,7 +2,8 @@
 //! background maintenance subsystem.
 //!
 //! The checkpoint has two phases: a *copy* phase (snapshot the engine
-//! state under the commit lock, start a rewrite) and a *swap* phase
+//! state under the exclusive commit latch, start a rewrite) and a *swap*
+//! phase
 //! (write the snapshot to a temp file, atomically rename it over the
 //! log, splice commits that landed mid-rewrite onto the new tail). A
 //! crash at any point must leave the log recoverable to either the

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the commit-scaling benchmark (experiment A7) and append its
+# one-line JSON summary to bench_results/commit_scaling.json (one line
+# per run, newest last), so scaling regressions show up as a diffable
+# series.
+# Usage: scripts/bench_commit.sh [--test]   (--test: small quick run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p bench_results
+out="$PWD/bench_results/commit_scaling.json"
+
+echo "==> cargo bench -p tendax-bench --bench commit_scaling"
+# cargo runs the bench with the package dir as CWD; pass an absolute path.
+cargo bench -p tendax-bench --bench commit_scaling -- --json "$out" "$@"
+
+echo "==> appended to bench_results/commit_scaling.json:"
+tail -n 1 "$out"

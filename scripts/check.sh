@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "==> crash-injection suite (checkpoint/maintenance + WAL recovery)"
 cargo test -q -p tendax-storage --test maintenance --test recovery_faults
 
+echo "==> commit-pipeline invariants (gap-freedom, FCW, WAL prefix replay)"
+cargo test -q -p tendax-storage --test commit_pipeline
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

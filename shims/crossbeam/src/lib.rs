@@ -5,7 +5,7 @@ pub mod channel {
     use std::fmt;
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// The sending half of an unbounded channel.
     pub struct Sender<T> {
@@ -45,6 +45,13 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             self.inner.recv()
         }
+
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
     }
 
     impl<T> fmt::Debug for Sender<T> {
@@ -69,6 +76,20 @@ pub mod channel {
             tx.send(7).unwrap();
             assert_eq!(rx.try_recv(), Ok(7));
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_receives() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(100)),
+                Ok(9)
+            );
         }
 
         #[test]
