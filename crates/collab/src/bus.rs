@@ -179,8 +179,13 @@ impl Subscription {
                 Ok(msg) => self.pending.push(msg),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
-                    // The bus is gone; nothing new can arrive. Sleep out
-                    // the latency gate on whatever is already pending.
+                    // The bus is gone; nothing new can arrive. With
+                    // nothing pending either there is nothing to wait
+                    // for — return instead of sleeping out the timeout.
+                    if self.pending.is_empty() {
+                        return Vec::new();
+                    }
+                    // Sleep out the latency gate on what is pending.
                     std::thread::sleep(wait);
                 }
             }
@@ -311,6 +316,23 @@ mod tests {
         assert_eq!(got.len(), 1);
         // Delivered on the publish wake-up, nowhere near the timeout.
         assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    /// Regression: a disconnected channel with nothing pending used to
+    /// sleep out the entire remaining timeout even though no event
+    /// could ever arrive.
+    #[test]
+    fn poll_timeout_returns_immediately_when_bus_disconnected() {
+        let bus = LanBus::new();
+        let mut sub = bus.subscribe(DocId(1), Duration::ZERO);
+        bus.unsubscribe(sub.id); // drops the sender: channel disconnected
+        let start = Instant::now();
+        let got = sub.poll_timeout(Duration::from_secs(5));
+        assert!(got.is_empty());
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "disconnected + empty pending must not sleep out the timeout"
+        );
     }
 
     #[test]

@@ -134,6 +134,11 @@ pub(crate) struct DbInner {
     commit_latch: CommitLatch,
     /// Set once at open for durable databases; never set for in-memory.
     wal: OnceLock<GroupWal>,
+    /// Serializes whole checkpoints (manual + maintenance). Taken
+    /// *before* the exclusive commit latch so a checkpoint never waits
+    /// out another checkpoint's swap-phase I/O while holding the latch
+    /// — commits keep flowing until the pipeline quiesce proper.
+    checkpoint_lock: Mutex<()>,
     counters: Counters,
     path: Option<PathBuf>,
     /// Background maintenance thread, if started.
@@ -176,6 +181,7 @@ impl Database {
                 active: Mutex::new(BTreeMap::new()),
                 commit_latch: CommitLatch::new(),
                 wal: OnceLock::new(),
+                checkpoint_lock: Mutex::new(()),
                 counters: Counters::default(),
                 path,
                 maintenance: Mutex::new(None),
@@ -427,13 +433,37 @@ impl Database {
         // individual table's version chains applied in timestamp order.
         let commit_ts = self.inner.sequencer.allocate();
 
+        // From allocation until `complete`, *every* exit — error return
+        // or panic anywhere in staging/publication — must resolve the
+        // timestamp slot, or the watermark wedges at `commit_ts - 1`
+        // forever: every later begin() gets a stale snapshot and every
+        // later commit hangs in wait_visible. This guard releases the
+        // slot (and steps the WAL drain cursor past it) on unwind; the
+        // success path disarms it just before `complete`.
+        struct TsGuard<'a> {
+            inner: &'a DbInner,
+            ts: Ts,
+        }
+        impl Drop for TsGuard<'_> {
+            fn drop(&mut self) {
+                if let Some(wal) = self.inner.wal.get() {
+                    wal.skip_commit(self.ts);
+                }
+                self.inner.sequencer.release(self.ts);
+            }
+        }
+        let ts_guard = TsGuard {
+            inner: &self.inner,
+            ts: commit_ts,
+        };
+
         // WAL staging before publication: if staging fails (e.g. the log
         // is poisoned), nothing became visible and the transaction
-        // aborts cleanly — the skip/release below hand the timestamp
-        // back so neither the WAL drain cursor nor the watermark waits
-        // forever on a commit that never published. Frames are staged by
-        // timestamp and drained to the file in timestamp order, so the
-        // log replays as a commit-order prefix without a global lock.
+        // aborts cleanly — the guard hands the timestamp back so neither
+        // the WAL drain cursor nor the watermark waits forever on a
+        // commit that never published. Frames are staged by timestamp
+        // and drained to the file in timestamp order, so the log replays
+        // as a commit-order prefix without a global lock.
         // The WAL record and the published version share the buffered
         // row's allocation: a written row is never copied again after
         // the client handed it to `insert`.
@@ -455,16 +485,7 @@ impl Database {
             commit_ts,
             writes: wal_writes,
         };
-        let ticket = match self.wal_stage(commit_ts, &rec) {
-            Ok(t) => t,
-            Err(e) => {
-                if let Some(wal) = self.inner.wal.get() {
-                    wal.skip_commit(commit_ts);
-                }
-                self.inner.sequencer.release(commit_ts);
-                return Err(e);
-            }
-        };
+        let ticket = self.wal_stage(commit_ts, &rec)?;
 
         for ((tid, _), guard) in handles.iter().zip(guards.iter_mut()) {
             let ws = writes.get(tid).expect("handle exists only for written table");
@@ -481,6 +502,7 @@ impl Database {
         // are visible to new snapshots once the watermark folds them in.
         // A durability failure below must not be reported as an abort.
         txn.published = true;
+        std::mem::forget(ts_guard);
         self.inner.sequencer.complete(commit_ts);
         self.inner.active.lock().remove(&txn.id());
         self.inner.counters.commits.fetch_add(1, Ordering::Relaxed);
@@ -615,6 +637,11 @@ impl Database {
         let Some(wal) = self.inner.wal.get() else {
             return Ok(()); // in-memory database: nothing to do
         };
+        // Serialize on other checkpoints *before* quiescing the pipeline:
+        // waiting out a concurrent checkpoint's swap-phase I/O must not
+        // happen while holding the exclusive latch, or every commit
+        // stalls for the duration of a full file rewrite.
+        let _ckpt = self.inner.checkpoint_lock.lock();
         // ---------------------------------------------------- copy phase
         let records = {
             let _quiesce = self.inner.commit_latch.exclusive();

@@ -174,21 +174,52 @@ impl GroupWal {
             Self::check_poison(&st)?;
             // Inline writes go straight to the file; during a checkpoint
             // rewrite that file is about to be replaced, so acking a write
-            // to it would lose the record at the rename. Wait out the swap.
-            while st.rewriting {
+            // to it would lose the record at the rename. Wait out the swap,
+            // and wait out any inline flush leader so our write cannot
+            // interleave with frames it already took off the queue.
+            while st.rewriting || st.leader_active {
                 self.cv.wait(&mut st);
                 Self::check_poison(&st)?;
             }
+            // Drained commit frames still parked in the inline queue carry
+            // timestamps that precede this record (the caller quiesced the
+            // pipeline, so every in-flight commit has staged and drained —
+            // its committer just hasn't reached wait_durable yet). They
+            // must hit the file first: a DDL frame written ahead of an
+            // earlier commit would make replay see e.g. a DropTable before
+            // a commit touching that table, failing recovery.
+            let inline = std::mem::take(&mut st.inline);
+            let hi_ts = st.drained_ts;
             st.enqueued += 1;
             let seq = st.enqueued;
+            st.leader_active = true;
             drop(st);
-            let res = self.file.lock().append_batch(&frame, 1, self.durability);
+            let mut res = Ok(());
+            let mut written = 0u64;
+            {
+                let mut file = self.file.lock();
+                for (_, f) in &inline {
+                    res = file.append_batch(f, 1, self.durability);
+                    if res.is_err() {
+                        break;
+                    }
+                    written += 1;
+                }
+                if res.is_ok() {
+                    res = file.append_batch(&frame, 1, self.durability);
+                }
+            }
             let mut st = self.state.lock();
+            st.leader_active = false;
+            self.batches_flushed.fetch_add(written, Ordering::Relaxed);
+            self.records_flushed.fetch_add(written, Ordering::Relaxed);
             return match res {
                 Ok(()) => {
                     st.durable = st.durable.max(seq);
+                    st.durable_ts = st.durable_ts.max(hi_ts);
                     self.batches_flushed.fetch_add(1, Ordering::Relaxed);
                     self.records_flushed.fetch_add(1, Ordering::Relaxed);
+                    self.cv.notify_all();
                     Ok(WalTicket::Seq(seq))
                 }
                 Err(e) => Err(self.poison_with(&mut st, e)),
@@ -805,6 +836,30 @@ mod tests {
         let replayed = WalFile::replay(&path).unwrap();
         let expected: Vec<WalRecord> = (1..=16).map(meta).collect();
         assert_eq!(replayed, expected);
+    }
+
+    /// Regression: in non-group mode, `enqueue` used to write DDL frames
+    /// straight to the file while earlier-timestamped commit frames were
+    /// still parked in the inline queue (their committers had drained but
+    /// not yet reached `wait_durable`). Replay then saw the DDL record
+    /// *before* commits that logically precede it — a DropTable ahead of
+    /// a commit touching that table fails recovery with UnknownTableId.
+    #[test]
+    fn nongroup_enqueue_flushes_pending_inline_frames_first() {
+        let path = tmpfile("ddl-order.wal");
+        let wal = open_group(&path, DurabilityLevel::Fsync, false);
+        // Stage + drain a commit, but don't wait_durable yet: its frame
+        // sits in the inline queue, exactly the window between a committer
+        // dropping the shared latch and parking on durability.
+        let t1 = wal.stage_commit(1, &meta(1)).unwrap();
+        // A DDL record enqueued in that window (exclusive latch held by
+        // the caller) must land *after* the pending commit frame.
+        let ddl = wal.enqueue(&meta(99)).unwrap();
+        wal.wait_durable(ddl).unwrap();
+        // The commit became durable as a side effect of the DDL flush.
+        wal.wait_durable(t1).unwrap();
+        drop(wal);
+        assert_eq!(WalFile::replay(&path).unwrap(), vec![meta(1), meta(99)]);
     }
 
     #[test]

@@ -318,15 +318,25 @@ fn own_commit_is_visible_to_the_next_transaction() {
 /// through shared mode. Racing the two must neither deadlock nor lose
 /// commits, and the WAL replay of the interleaving must reconstruct
 /// the surviving schema and every row.
-#[test]
-fn ddl_races_parallel_committers() {
+///
+/// Swept over both WAL modes: in non-group (per-record-flush) mode,
+/// `enqueue` used to write the DDL frame to the file while earlier-
+/// timestamped commit frames were still parked in the inline queue
+/// (their committers had dropped the shared latch but not yet reached
+/// `wait_durable`), so replay could hit a DropTable before a commit
+/// touching that table and fail with UnknownTableId.
+fn ddl_race(group_commit: bool, path_name: &str) {
     const WRITERS: usize = 3;
     const COMMITS: i64 = 60;
     const DDL_CYCLES: usize = 15;
 
-    let path = tmp("ddl-race.wal");
+    let path = tmp(path_name);
+    let opts = Options {
+        group_commit,
+        ..Options::default()
+    };
     {
-        let db = Database::open(&path, Options::default()).unwrap();
+        let db = Database::open(&path, opts.clone()).unwrap();
         let mut tables = Vec::new();
         for k in 0..WRITERS {
             tables.push(db.create_table(seq_table(&format!("t{k}"))).unwrap());
@@ -379,7 +389,7 @@ fn ddl_races_parallel_committers() {
     }
 
     // Replay the interleaved log: schema and rows both survive.
-    let db = Database::open(&path, Options::default()).unwrap();
+    let db = Database::open(&path, opts).unwrap();
     assert_eq!(db.table_names().len(), WRITERS);
     for k in 0..WRITERS {
         let t = db.table_id(&format!("t{k}")).unwrap();
@@ -392,6 +402,63 @@ fn ddl_races_parallel_committers() {
         txn.insert(t, Row::new(vec![Value::Int(999)])).unwrap();
         txn.commit().unwrap();
     }
+}
+
+#[test]
+fn ddl_races_parallel_committers() {
+    ddl_race(true, "ddl-race.wal");
+}
+
+#[test]
+fn ddl_races_parallel_committers_nongroup_wal() {
+    ddl_race(false, "ddl-race-nongroup.wal");
+}
+
+/// Regression for the non-group WAL ordering bug in its nastiest form:
+/// a committer drops the shared latch and parks its inline frame, then
+/// `drop_table` on the *same* table takes the exclusive latch and used
+/// to write its DropTable frame ahead of the parked commit. Replay then
+/// hit the commit after the DropTable and failed with UnknownTableId —
+/// the database would not reopen until a checkpoint happened to rewrite
+/// the log.
+#[test]
+fn drop_table_racing_nongroup_committers_keeps_log_replayable() {
+    let path = tmp("drop-race-nongroup.wal");
+    let opts = Options {
+        group_commit: false,
+        ..Options::default()
+    };
+    {
+        let db = Database::open(&path, opts.clone()).unwrap();
+        for round in 0..20 {
+            let name = format!("doc{round}");
+            let t = db.create_table(seq_table(&name)).unwrap();
+            let writers: Vec<_> = (0..2)
+                .map(|_| {
+                    let db = db.clone();
+                    std::thread::spawn(move || loop {
+                        let mut txn = db.begin();
+                        // The table can vanish under us at any point;
+                        // any error just means the race is over.
+                        if txn.insert(t, Row::new(vec![Value::Int(1)])).is_err() {
+                            break;
+                        }
+                        if txn.commit().is_err() {
+                            break;
+                        }
+                    })
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(2));
+            db.drop_table(&name).unwrap();
+            for h in writers {
+                h.join().unwrap();
+            }
+        }
+    }
+    // The interleaved log must replay as a consistent prefix: every
+    // commit frame precedes the DropTable of the table it touches.
+    Database::open(&path, opts).unwrap();
 }
 
 /// The WAL-ordering half of the pipeline: four threads commit to four
