@@ -21,7 +21,8 @@ fn churned_doc(live: usize, dead: usize) -> (Tendax, DocId, UserId) {
     let mut remaining = dead;
     while remaining > 0 {
         let n = remaining.min(chunk);
-        h.insert_text(live / 2, &"y".repeat(n)).expect("churn insert");
+        h.insert_text(live / 2, &"y".repeat(n))
+            .expect("churn insert");
         h.delete_range(live / 2, n).expect("churn delete");
         remaining -= n;
     }
@@ -34,13 +35,9 @@ fn bench_open_with_tombstones(c: &mut Criterion) {
     const LIVE: usize = 2_000;
     for &dead in &[0usize, 2_000, 20_000] {
         let (tx, doc, u) = churned_doc(LIVE, dead);
-        group.bench_with_input(
-            BenchmarkId::new("unpurged", dead),
-            &dead,
-            |b, _| {
-                b.iter(|| tx.textdb().open(doc, u).expect("open"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("unpurged", dead), &dead, |b, _| {
+            b.iter(|| tx.textdb().open(doc, u).expect("open"));
+        });
         if dead > 0 {
             tx.textdb()
                 .purge_tombstones(doc, tx.textdb().now())

@@ -68,9 +68,13 @@ fn bench_insert_maintenance(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("treap_insert", n), &n, |b, &n| {
             let mut chain = chain_of(n);
             let mut next = n as u64 + 1;
-            let anchor = chain.id_at_visible(chain.visible_len() / 2).expect("anchor");
+            let anchor = chain
+                .id_at_visible(chain.visible_len() / 2)
+                .expect("anchor");
             b.iter(|| {
-                chain.insert_after(Some(anchor), CharId(next), true).expect("fresh id");
+                chain
+                    .insert_after(Some(anchor), CharId(next), true)
+                    .expect("fresh id");
                 next += 1;
             });
         });

@@ -5,7 +5,7 @@
 //! latency as the number of tasks in a document grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tendax_core::{Assignee, Tendax, TaskSpec};
+use tendax_core::{Assignee, TaskSpec, Tendax};
 use tendax_process::ProcessEngine;
 
 fn engine_with_tasks(n_tasks: usize) -> (Tendax, ProcessEngine, tendax_core::UserId) {
@@ -16,7 +16,11 @@ fn engine_with_tasks(n_tasks: usize) -> (Tendax, ProcessEngine, tendax_core::Use
     let engine = tx.process().clone();
     for i in 0..n_tasks {
         engine
-            .define_task(doc, alice, TaskSpec::new(format!("task{i}"), Assignee::User(bob)))
+            .define_task(
+                doc,
+                alice,
+                TaskSpec::new(format!("task{i}"), Assignee::User(bob)),
+            )
             .expect("task");
     }
     (tx, engine, bob)
@@ -35,7 +39,11 @@ fn bench_define_task(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             engine
-                .define_task(doc, alice, TaskSpec::new(format!("t{i}"), Assignee::User(bob)))
+                .define_task(
+                    doc,
+                    alice,
+                    TaskSpec::new(format!("t{i}"), Assignee::User(bob)),
+                )
                 .expect("defined")
         });
     });
@@ -99,7 +107,9 @@ fn bench_complete_and_route(c: &mut Criterion) {
         let mid = tasks[4];
         b.iter(|| {
             // Cycle detection walks the chain: this measures routing cost.
-            engine.set_predecessor(tail, alice, Some(mid)).expect("reroute");
+            engine
+                .set_predecessor(tail, alice, Some(mid))
+                .expect("reroute");
             engine
                 .set_predecessor(tail, alice, Some(tasks[8]))
                 .expect("reroute back");

@@ -50,7 +50,9 @@ fn bench_sync_vs_reload(c: &mut Criterion) {
     // One editor types; measure how a second editor catches up.
     let (tendax, sessions, doc_id) = shared_document(2);
     let mut writer = sessions[0].open("shared").expect("open writer");
-    writer.type_text(0, &"seed text ".repeat(200)).expect("seed");
+    writer
+        .type_text(0, &"seed text ".repeat(200))
+        .expect("seed");
 
     group.bench_function("effect_bus_sync_100_events", |b| {
         b.iter(|| {

@@ -32,8 +32,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use tendax_storage::{
-    DataType, Database, DurabilityLevel, Options, Row, RowId, TableDef,
-    TableId, Value,
+    DataType, Database, DurabilityLevel, Options, Row, RowId, TableDef, TableId, Value,
 };
 
 const THREAD_POINTS: [usize; 4] = [1, 2, 4, 8];
@@ -63,10 +62,7 @@ fn parse_args() -> Config {
 }
 
 fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "tendax-bench-commit-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("tendax-bench-commit-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(name);
     let _ = std::fs::remove_file(&p);
@@ -117,8 +113,7 @@ fn run_point(shape: Shape, threads: usize, commits: u64) -> Point {
             .map(|k| {
                 let t = db.create_table(def(&format!("t{k}"))).expect("ddl");
                 let mut txn = db.begin();
-                let rid =
-                    txn.insert(t, Row::new(vec![Value::Int(0)])).expect("seed");
+                let rid = txn.insert(t, Row::new(vec![Value::Int(0)])).expect("seed");
                 txn.commit().expect("seed commit");
                 (t, rid)
             })
@@ -127,9 +122,7 @@ fn run_point(shape: Shape, threads: usize, commits: u64) -> Point {
             let t = db.create_table(def("shared")).expect("ddl");
             let mut txn = db.begin();
             let rids: Vec<RowId> = (0..threads)
-                .map(|_| {
-                    txn.insert(t, Row::new(vec![Value::Int(0)])).expect("seed")
-                })
+                .map(|_| txn.insert(t, Row::new(vec![Value::Int(0)])).expect("seed"))
                 .collect();
             txn.commit().expect("seed commit");
             rids.into_iter().map(|rid| (t, rid)).collect()
@@ -215,10 +208,7 @@ fn main() {
         for p in &points {
             let key = format!("{}_{}", p.shape.label(), p.threads);
             fields.push(format!("\"{key}_txns_per_s\":{:.0}", p.txns_per_s));
-            fields.push(format!(
-                "\"{key}_commit_wait_ms\":{:.1}",
-                p.commit_wait_ms
-            ));
+            fields.push(format!("\"{key}_commit_wait_ms\":{:.1}", p.commit_wait_ms));
             fields.push(format!(
                 "\"{key}_watermark_lag_max\":{}",
                 p.watermark_lag_max

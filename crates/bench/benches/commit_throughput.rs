@@ -14,9 +14,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use tendax_storage::{
-    DataType, Database, DurabilityLevel, Options, Row, TableDef, Value,
-};
+use tendax_storage::{DataType, Database, DurabilityLevel, Options, Row, TableDef, Value};
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("tendax-commit-bench-{}", std::process::id()));
@@ -92,18 +90,8 @@ fn main() {
         "config", "commits/s", "mean batch", "fsyncs saved", "speedup"
     );
     for &threads in &[1u64, 4, 8] {
-        let base = run(
-            &format!("base-{threads}.wal"),
-            false,
-            threads,
-            ops,
-        );
-        let group = run(
-            &format!("group-{threads}.wal"),
-            true,
-            threads,
-            ops,
-        );
+        let base = run(&format!("base-{threads}.wal"), false, threads, ops);
+        let group = run(&format!("group-{threads}.wal"), true, threads, ops);
         println!(
             "{:<28} {:>12.0} {:>12.2} {:>12} {:>10}",
             format!("fsync/commit    x{threads}"),

@@ -39,7 +39,11 @@ fn bench_rule_complexity(c: &mut Criterion) {
         .and(FolderRule::MinSize(10));
     let expensive = FolderRule::ContentContains("database".into());
 
-    for (name, rule) in [("metadata_only", &cheap), ("conjunction", &medium), ("content_scan", &expensive)] {
+    for (name, rule) in [
+        ("metadata_only", &cheap),
+        ("conjunction", &medium),
+        ("content_scan", &expensive),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| folders.evaluate_rule(rule).expect("evaluated"));
         });

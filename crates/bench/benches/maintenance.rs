@@ -25,8 +25,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use tendax_storage::{
-    DataType, Database, MaintenanceOptions, Options, Predicate, Row, TableDef,
-    Value,
+    DataType, Database, MaintenanceOptions, Options, Predicate, Row, TableDef, Value,
 };
 
 const TEXT_WIDTH: usize = 64;
@@ -57,10 +56,7 @@ fn parse_args() -> Config {
 }
 
 fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "tendax-bench-maint-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("tendax-bench-maint-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(name);
     let _ = std::fs::remove_file(&p);
@@ -96,11 +92,7 @@ fn percentile(sorted_ns: &[u64], frac: f64) -> f64 {
 
 /// Seed the working set, run `commits` round-robin updates timing each
 /// commit, then drop the database and time a cold reopen.
-fn run(
-    label: &'static str,
-    maintenance: Option<MaintenanceOptions>,
-    commits: u64,
-) -> RunResult {
+fn run(label: &'static str, maintenance: Option<MaintenanceOptions>, commits: u64) -> RunResult {
     let path = tmp(&format!("{label}.wal"));
     let opts = Options {
         maintenance,

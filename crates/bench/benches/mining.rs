@@ -47,5 +47,10 @@ fn bench_text_mining(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_space_vs_corpus, bench_render, bench_text_mining);
+criterion_group!(
+    benches,
+    bench_space_vs_corpus,
+    bench_render,
+    bench_text_mining
+);
 criterion_main!(benches);

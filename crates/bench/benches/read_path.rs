@@ -24,9 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use tendax_storage::{
-    DataType, Database, Predicate, Row, TableDef, TableId, Value,
-};
+use tendax_storage::{DataType, Database, Predicate, Row, TableDef, TableId, Value};
 
 const TEXT_WIDTH: usize = 64;
 
@@ -127,7 +125,10 @@ fn main() {
         let rows = txn.scan(t, &Predicate::True).expect("scan");
         let mut sum = 0u64;
         for (_, r) in &rows {
-            sum += r.get(2).and_then(|v| v.as_text()).map_or(0, |s| s.len() as u64);
+            sum += r
+                .get(2)
+                .and_then(|v| v.as_text())
+                .map_or(0, |s| s.len() as u64);
         }
         assert_eq!(rows.len() as u64, cfg.rows);
         sum
@@ -143,7 +144,10 @@ fn main() {
         let mut sum = 0u64;
         for (_, r) in &rows {
             let owned: Row = Row::clone(r);
-            sum += owned.get(2).and_then(|v| v.as_text()).map_or(0, |s| s.len() as u64);
+            sum += owned
+                .get(2)
+                .and_then(|v| v.as_text())
+                .map_or(0, |s| s.len() as u64);
         }
         sum
     });
@@ -273,7 +277,10 @@ fn main() {
             h.join().expect("writer");
         }
         let rate = scanned.load(Ordering::Relaxed) as f64 / secs;
-        println!("concurrent/r{readers}w{writers}  {} (reader rows/s)", fmt_rate(rate));
+        println!(
+            "concurrent/r{readers}w{writers}  {} (reader rows/s)",
+            fmt_rate(rate)
+        );
         results.push(match (readers, writers) {
             (2, 1) => ("concurrent_r2w1", rate),
             (4, 1) => ("concurrent_r4w1", rate),

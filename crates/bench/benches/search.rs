@@ -29,7 +29,11 @@ fn bench_query_modes(c: &mut Criterion) {
     let user = corpus.users[0];
 
     group.bench_function("content_single_term", |b| {
-        b.iter(|| engine.search(&SearchQuery::terms("database")).expect("hits"));
+        b.iter(|| {
+            engine
+                .search(&SearchQuery::terms("database"))
+                .expect("hits")
+        });
     });
     group.bench_function("content_two_terms_and", |b| {
         b.iter(|| {

@@ -7,7 +7,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tendax_core::{Platform, Tendax};
 
-fn doc_with_history(ops: usize, op_size: usize) -> (Tendax, tendax_core::EditorSession, tendax_core::EditorDoc) {
+fn doc_with_history(
+    ops: usize,
+    op_size: usize,
+) -> (Tendax, tendax_core::EditorSession, tendax_core::EditorDoc) {
     let tx = Tendax::in_memory().expect("instance");
     tx.create_user("u").expect("user");
     let u = tx.textdb().user_by_name("u").expect("u");

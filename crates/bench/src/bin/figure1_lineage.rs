@@ -51,8 +51,7 @@ fn main() {
     std::fs::create_dir_all("bench_results").expect("bench_results dir");
     std::fs::write("bench_results/figure1_lineage.json", graph.to_json())
         .expect("write figure1 json");
-    std::fs::write("bench_results/figure1_lineage.dot", graph.to_dot())
-        .expect("write figure1 dot");
+    std::fs::write("bench_results/figure1_lineage.dot", graph.to_dot()).expect("write figure1 dot");
     println!(
         "\nseries written: bench_results/figure1_lineage.json ({} nodes, {} edges)",
         graph.nodes.len(),

@@ -29,10 +29,7 @@ fn main() {
     for doc in corpus.docs.iter().take(5) {
         let terms = top_terms(tendax.textdb(), *doc, 3).expect("terms");
         let name = tendax.textdb().document_info(*doc).expect("info").name;
-        let rendered: Vec<String> = terms
-            .iter()
-            .map(|(t, w)| format!("{t}({w:.3})"))
-            .collect();
+        let rendered: Vec<String> = terms.iter().map(|(t, w)| format!("{t}({w:.3})")).collect();
         println!("{name}: {}", rendered.join(", "));
     }
 

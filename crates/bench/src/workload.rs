@@ -12,9 +12,30 @@ use tendax_core::{DocId, Platform, Tendax, UserId};
 
 /// A small vocabulary so search/mining have realistic term statistics.
 const WORDS: [&str; 24] = [
-    "database", "document", "editor", "transaction", "metadata", "character", "collaboration",
-    "workflow", "security", "undo", "paste", "lineage", "folder", "search", "mining", "text",
-    "revenue", "contract", "review", "draft", "server", "client", "index", "snapshot",
+    "database",
+    "document",
+    "editor",
+    "transaction",
+    "metadata",
+    "character",
+    "collaboration",
+    "workflow",
+    "security",
+    "undo",
+    "paste",
+    "lineage",
+    "folder",
+    "search",
+    "mining",
+    "text",
+    "revenue",
+    "contract",
+    "review",
+    "draft",
+    "server",
+    "client",
+    "index",
+    "snapshot",
 ];
 
 /// Generate `n` words of pseudo-text.
@@ -138,11 +159,7 @@ pub fn shared_document(n_users: usize) -> (Tendax, Vec<tendax_core::EditorSessio
     let doc = tendax.create_document("shared", creator).expect("doc");
     let sessions = names
         .iter()
-        .map(|n| {
-            tendax
-                .connect(n, Platform::Linux)
-                .expect("connect session")
-        })
+        .map(|n| tendax.connect(n, Platform::Linux).expect("connect session"))
         .collect();
     (tendax, sessions, doc)
 }

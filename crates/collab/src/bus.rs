@@ -69,14 +69,9 @@ impl LanBus {
         let mut inner = self.inner.lock();
         let id = inner.next_sub;
         inner.next_sub += 1;
-        inner.subscribers.insert(
-            id,
-            Subscriber {
-                doc,
-                latency,
-                tx,
-            },
-        );
+        inner
+            .subscribers
+            .insert(id, Subscriber { doc, latency, tx });
         Subscription {
             id,
             rx,
@@ -284,10 +279,7 @@ mod tests {
             ts: 1,
         }];
         bus.publish(ev);
-        let received: Vec<Arc<DocEvent>> = subs
-            .iter_mut()
-            .map(|s| s.poll().remove(0))
-            .collect();
+        let received: Vec<Arc<DocEvent>> = subs.iter_mut().map(|s| s.poll().remove(0)).collect();
         // Every subscriber got a handle to the *same* allocation — the
         // effects vector was never copied per subscriber.
         for pair in received.windows(2) {

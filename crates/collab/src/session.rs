@@ -12,9 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use tendax_text::{
-    Clip, DocHandle, DocId, EditReceipt, Result, StyleId, TextError, UserId,
-};
+use tendax_text::{Clip, DocHandle, DocId, EditReceipt, Result, StyleId, TextError, UserId};
 
 use crate::awareness::Platform;
 use crate::bus::{DocEvent, SessionId, Subscription};
@@ -241,7 +239,8 @@ impl EditorDoc {
             self.reorder.push(ev);
         }
         // A refresh may have superseded buffered events.
-        self.reorder.retain(|ev| ev.commit_ts > self.handle.synced_ts());
+        self.reorder
+            .retain(|ev| ev.commit_ts > self.handle.synced_ts());
         // Drain the reorder buffer to a fixpoint: each successful apply
         // may unblock buffered dependents.
         let mut stale = false;
@@ -348,8 +347,7 @@ impl EditorDoc {
     /// [`TextError::InvalidPosition`].
     pub fn type_text(&mut self, pos: usize, text: &str) -> Result<EditReceipt> {
         let owned = text.to_owned();
-        let (at, receipt) =
-            self.perform_at("insert", pos, move |h, p| h.insert_text(p, &owned))?;
+        let (at, receipt) = self.perform_at("insert", pos, move |h, p| h.insert_text(p, &owned))?;
         self.set_cursor(at + text.chars().count());
         Ok(receipt)
     }
@@ -372,15 +370,12 @@ impl EditorDoc {
             .map(|(_, receipt)| receipt)
     }
 
-    pub fn paste_external(
-        &mut self,
-        pos: usize,
-        text: &str,
-        source: &str,
-    ) -> Result<EditReceipt> {
+    pub fn paste_external(&mut self, pos: usize, text: &str, source: &str) -> Result<EditReceipt> {
         let (text, source) = (text.to_owned(), source.to_owned());
-        self.perform_at("paste", pos, move |h, p| h.paste_external(p, &text, &source))
-            .map(|(_, receipt)| receipt)
+        self.perform_at("paste", pos, move |h, p| {
+            h.paste_external(p, &text, &source)
+        })
+        .map(|(_, receipt)| receipt)
     }
 
     pub fn apply_style(&mut self, pos: usize, len: usize, style: StyleId) -> Result<EditReceipt> {
@@ -757,7 +752,10 @@ mod tests {
             effects: r.effects.clone(),
         };
         // Deliver f before e: the reorder buffer must hold f until e.
-        dc.apply_events(vec![Arc::new(mk(&r6, "insert")), Arc::new(mk(&r5, "insert"))]);
+        dc.apply_events(vec![
+            Arc::new(mk(&r6, "insert")),
+            Arc::new(mk(&r5, "insert")),
+        ]);
         assert_eq!(dc.text(), "abcdef");
         let _ = (r1, r2, r3, r4);
     }
@@ -882,7 +880,12 @@ mod tests {
         let err = da
             .with_handle::<()>("doomed", |_h| Err(TextError::StaleView(doc)))
             .unwrap_err();
-        assert_eq!(err, TextError::RetriesExhausted { attempts: EDIT_RETRIES });
+        assert_eq!(
+            err,
+            TextError::RetriesExhausted {
+                attempts: EDIT_RETRIES
+            }
+        );
         assert_eq!(da.stats().retries as usize, EDIT_RETRIES - 1);
     }
 
@@ -910,19 +913,17 @@ mod tests {
             user: db.handle().user(),
             origin: SessionId(9999),
             kind: "insert".into(),
-            effects: vec![
-                Effect::Insert {
-                    char: phantom,
-                    prev: Some(CharId(u64::MAX - 2)), // unknown anchor
-                    ch: '!',
-                    author: UserId(1),
-                    ts: 0,
-                    style: StyleId::NONE,
-                    src_doc: da.doc(),
-                    src_char: CharId::NONE,
-                    external: None,
-                },
-            ],
+            effects: vec![Effect::Insert {
+                char: phantom,
+                prev: Some(CharId(u64::MAX - 2)), // unknown anchor
+                ch: '!',
+                author: UserId(1),
+                ts: 0,
+                style: StyleId::NONE,
+                src_doc: da.doc(),
+                src_char: CharId::NONE,
+                external: None,
+            }],
         };
         // The vet rejects it (unknown anchor), so it parks in the
         // reorder buffer rather than panicking...

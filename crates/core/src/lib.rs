@@ -46,10 +46,10 @@ pub use tendax_collab::{
     AwarenessRegistry, DocEvent, EditorDoc, EditorSession, LanBus, Platform, Presence, SessionId,
 };
 pub use tendax_meta::{
-    activity_timeline, char_provenance, collaboration_graph, top_terms, DocFeatures, DocumentSpace, DynamicFolders, Folder, FolderChange,
-    FolderId, FolderRule, FolderSet, InvertedIndex, LineageEdge, LineageGraph, LineageNode,
-    ProvenanceHop, RankBy, SearchEngine, SearchFilter, SearchHit, SearchQuery, SpacePoint, TermMode,
-    WorkspaceReport, FEATURE_NAMES,
+    activity_timeline, char_provenance, collaboration_graph, top_terms, DocFeatures, DocumentSpace,
+    DynamicFolders, Folder, FolderChange, FolderId, FolderRule, FolderSet, InvertedIndex,
+    LineageEdge, LineageGraph, LineageNode, ProvenanceHop, RankBy, SearchEngine, SearchFilter,
+    SearchHit, SearchQuery, SpacePoint, TermMode, WorkspaceReport, FEATURE_NAMES,
 };
 pub use tendax_process::{Assignee, Task, TaskId, TaskLogEntry, TaskSpec, TaskState};
 pub use tendax_storage::{ClockMode, DurabilityLevel, Options, Stats};

@@ -14,11 +14,18 @@ use tendax_text::{DocId, Result, TextDb, TextError, UserId};
 #[derive(Debug, Clone, PartialEq)]
 pub enum FolderRule {
     /// Documents `user` has read at or after the given engine timestamp.
-    ReadBy { user: u64, since: i64 },
+    ReadBy {
+        user: u64,
+        since: i64,
+    },
     /// Documents where `user` authored at least one character.
-    AuthoredBy { user: u64 },
+    AuthoredBy {
+        user: u64,
+    },
     /// Documents created by `user`.
-    CreatedBy { user: u64 },
+    CreatedBy {
+        user: u64,
+    },
     /// Documents in a workflow state (`draft`, `review`, `final`, …).
     StateIs(String),
     /// Document name contains the given substring.
@@ -26,7 +33,9 @@ pub enum FolderRule {
     /// Visible content contains the given substring.
     ContentContains(String),
     /// Documents containing text pasted from `doc`.
-    PastedFrom { doc: u64 },
+    PastedFrom {
+        doc: u64,
+    },
     /// Documents edited (any logged operation) at or after the timestamp.
     EditedSince(i64),
     /// Documents with at least `n` visible characters.
@@ -329,14 +338,10 @@ impl DynamicFolders {
                 .docs_read_by(UserId(*user), *since)?
                 .iter()
                 .any(|(d, _)| *d == doc),
-            FolderRule::AuthoredBy { user } => self
-                .tdb
-                .doc_stats(doc)?
-                .authors
-                .contains(&UserId(*user)),
-            FolderRule::CreatedBy { user } => {
-                self.tdb.document_info(doc)?.creator == UserId(*user)
+            FolderRule::AuthoredBy { user } => {
+                self.tdb.doc_stats(doc)?.authors.contains(&UserId(*user))
             }
+            FolderRule::CreatedBy { user } => self.tdb.document_info(doc)?.creator == UserId(*user),
             FolderRule::StateIs(s) => self.tdb.document_info(doc)?.state == *s,
             FolderRule::NameContains(s) => self.tdb.document_info(doc)?.name.contains(s.as_str()),
             FolderRule::ContentContains(s) => {
@@ -370,10 +375,8 @@ impl DynamicFolders {
                 let txn = self.tdb.database().begin();
                 !txn.scan(
                     tasks,
-                    &Predicate::Eq("doc".into(), doc.value()).and(Predicate::Eq(
-                        "state".into(),
-                        Value::Text("pending".into()),
-                    )),
+                    &Predicate::Eq("doc".into(), doc.value())
+                        .and(Predicate::Eq("state".into(), Value::Text("pending".into()))),
                 )?
                 .is_empty()
             }
@@ -462,7 +465,10 @@ mod tests {
             .create_folder(
                 "bob-read-recently",
                 bob,
-                FolderRule::ReadBy { user: bob.0, since: 0 },
+                FolderRule::ReadBy {
+                    user: bob.0,
+                    since: 0,
+                },
             )
             .unwrap();
         assert!(folders.evaluate(f).unwrap().is_empty());
@@ -531,16 +537,14 @@ mod tests {
         let (tdb, folders, alice, bob) = setup();
         let d1 = tdb.create_document("x1", alice).unwrap();
         let _d2 = tdb.create_document("x2", bob).unwrap();
-        let rule = FolderRule::CreatedBy { user: alice.0 }
-            .and(FolderRule::StateIs("draft".into()));
+        let rule = FolderRule::CreatedBy { user: alice.0 }.and(FolderRule::StateIs("draft".into()));
         assert_eq!(folders.evaluate_rule(&rule).unwrap(), vec![d1]);
-        let none = FolderRule::CreatedBy { user: alice.0 }
-            .and(FolderRule::Not(Box::new(FolderRule::StateIs(
-                "draft".into(),
-            ))));
+        let none = FolderRule::CreatedBy { user: alice.0 }.and(FolderRule::Not(Box::new(
+            FolderRule::StateIs("draft".into()),
+        )));
         assert!(folders.evaluate_rule(&none).unwrap().is_empty());
-        let either = FolderRule::CreatedBy { user: alice.0 }
-            .or(FolderRule::CreatedBy { user: bob.0 });
+        let either =
+            FolderRule::CreatedBy { user: alice.0 }.or(FolderRule::CreatedBy { user: bob.0 });
         assert_eq!(folders.evaluate_rule(&either).unwrap().len(), 2);
     }
 

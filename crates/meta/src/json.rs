@@ -68,9 +68,7 @@ impl Json {
     /// externally-tagged enum shape.
     pub fn as_tagged(&self) -> Option<(&str, &Json)> {
         match self {
-            Json::Obj(fields) if fields.len() == 1 => {
-                Some((fields[0].0.as_str(), &fields[0].1))
-            }
+            Json::Obj(fields) if fields.len() == 1 => Some((fields[0].0.as_str(), &fields[0].1)),
             _ => None,
         }
     }
@@ -257,18 +255,14 @@ impl Parser<'_> {
                                     let low = u32::from_str_radix(hex2, 16)
                                         .map_err(|_| "bad \\u escape")?;
                                     if (0xDC00..0xE000).contains(&low) {
-                                        code = 0x10000
-                                            + ((code - 0xD800) << 10)
-                                            + (low - 0xDC00);
+                                        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                         self.pos += 6;
                                     }
                                 }
                             }
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
-                        other => {
-                            return Err(format!("bad escape {:?}", other.map(|c| c as char)))
-                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
                     }
                     self.pos += 1;
                 }
@@ -393,7 +387,12 @@ mod tests {
             write_f64(&mut s, v);
             let back = parse(&s).unwrap();
             let expect = if v.is_finite() { v } else { 0.0 };
-            assert_eq!(back.as_i64().map(|i| i as f64).unwrap_or_else(|| s.parse().unwrap()), expect);
+            assert_eq!(
+                back.as_i64()
+                    .map(|i| i as f64)
+                    .unwrap_or_else(|| s.parse().unwrap()),
+                expect
+            );
         }
     }
 }

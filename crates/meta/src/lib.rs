@@ -22,8 +22,8 @@ pub mod search;
 pub use folders::{DynamicFolders, Folder, FolderChange, FolderId, FolderRule, FolderSet};
 pub use lineage::{char_provenance, LineageEdge, LineageGraph, LineageNode, ProvenanceHop};
 pub use mining::{
-    activity_timeline, collaboration_graph, collect_features, kmeans, normalize, pca_2d,
-    top_terms, DocFeatures, DocumentSpace, SpacePoint, FEATURE_NAMES,
+    activity_timeline, collaboration_graph, collect_features, kmeans, normalize, pca_2d, top_terms,
+    DocFeatures, DocumentSpace, SpacePoint, FEATURE_NAMES,
 };
 pub use report::{DocLine, WorkspaceReport};
 pub use search::{

@@ -54,7 +54,10 @@ impl LineageGraph {
         let t = tdb.tables();
         let txn = tdb.database().begin();
         let doc_name = |d: DocId| -> Result<String> {
-            Ok(tdb.document_info(d).map(|i| i.name).unwrap_or_else(|_| format!("doc#{}", d.0)))
+            Ok(tdb
+                .document_info(d)
+                .map(|i| i.name)
+                .unwrap_or_else(|_| format!("doc#{}", d.0)))
         };
 
         let mut nodes: BTreeSet<LineageNode> = BTreeSet::new();
@@ -371,17 +374,12 @@ mod tests {
         let g = LineageGraph::build(&tdb).unwrap();
         // origin->middle, external->middle, middle->final
         assert_eq!(g.edges.len(), 3);
-        let oe = g
-            .edges
-            .iter()
-            .find(|e| e.from.label() == "origin")
-            .unwrap();
+        let oe = g.edges.iter().find(|e| e.from.label() == "origin").unwrap();
         assert_eq!(oe.chars, 8);
         assert_eq!(oe.events, 1);
-        assert!(g
-            .edges
-            .iter()
-            .any(|e| matches!(&e.from, LineageNode::External { source } if source.contains("example"))));
+        assert!(g.edges.iter().any(
+            |e| matches!(&e.from, LineageNode::External { source } if source.contains("example"))
+        ));
         let _ = (a, b, c);
     }
 
@@ -431,8 +429,14 @@ mod tests {
         let l1 = layered.find("layer 1").unwrap();
         let l2 = layered.find("layer 2").unwrap();
         let origin = layered.find("origin").unwrap();
-        let middle_line = layered.lines().find(|l| l.starts_with("layer") && l.contains("middle")).unwrap();
-        let final_line = layered.lines().find(|l| l.starts_with("layer") && l.contains("final")).unwrap();
+        let middle_line = layered
+            .lines()
+            .find(|l| l.starts_with("layer") && l.contains("middle"))
+            .unwrap();
+        let final_line = layered
+            .lines()
+            .find(|l| l.starts_with("layer") && l.contains("final"))
+            .unwrap();
         assert!(l0 < l1 && l1 < l2);
         assert!(origin > l0 && origin < l1);
         assert!(middle_line.starts_with("layer 1"));

@@ -130,7 +130,13 @@ fn power_iteration(m: &[Vec<f64>], seed: usize) -> Vec<f64> {
     let dims = m.len();
     // Deterministic start: unit vector rotated by the seed.
     let mut v: Vec<f64> = (0..dims)
-        .map(|i| if (i + seed).is_multiple_of(2) { 1.0 } else { 0.5 })
+        .map(|i| {
+            if (i + seed).is_multiple_of(2) {
+                1.0
+            } else {
+                0.5
+            }
+        })
         .collect();
     for _ in 0..200 {
         let mut next = vec![0.0; dims];
@@ -174,9 +180,7 @@ pub fn kmeans(points: &[(f64, f64)], k: usize, iterations: usize) -> Vec<usize> 
     // Deterministic init: evenly spaced points in x-order.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| points[a].0.total_cmp(&points[b].0));
-    let mut centers: Vec<(f64, f64)> = (0..k)
-        .map(|i| points[order[i * n / k]])
-        .collect();
+    let mut centers: Vec<(f64, f64)> = (0..k).map(|i| points[order[i * n / k]]).collect();
     let mut assign = vec![0usize; n];
     for _ in 0..iterations.max(1) {
         // Assign.
@@ -342,7 +346,10 @@ pub fn collaboration_graph(
         let authors = tdb.doc_stats(info.id)?.authors;
         for i in 0..authors.len() {
             for j in i + 1..authors.len() {
-                let (a, b) = (authors[i].0.min(authors[j].0), authors[i].0.max(authors[j].0));
+                let (a, b) = (
+                    authors[i].0.min(authors[j].0),
+                    authors[i].0.max(authors[j].0),
+                );
                 *weights.entry((a, b)).or_default() += 1;
             }
         }

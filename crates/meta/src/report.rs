@@ -71,9 +71,7 @@ impl WorkspaceReport {
         let mut op_mix: Vec<(String, i64)> = txn
             .group_by(t.oplog, &Predicate::True, "kind", &Aggregate::Count)?
             .into_iter()
-            .filter_map(|(k, v)| {
-                Some((k.as_text()?.to_owned(), v.as_int().unwrap_or(0)))
-            })
+            .filter_map(|(k, v)| Some((k.as_text()?.to_owned(), v.as_int().unwrap_or(0))))
             .collect();
         op_mix.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
@@ -221,7 +219,7 @@ mod tests {
         assert_eq!(big.cited_by, 1);
         let small = r.line(d2).unwrap();
         assert_eq!(small.size, 6); // "iny" + pasted "a m" (minus 1 deleted)
-        // Operation mix covers every kind used.
+                                   // Operation mix covers every kind used.
         let kinds: Vec<&str> = r.op_mix.iter().map(|(k, _)| k.as_str()).collect();
         assert!(kinds.contains(&"insert"));
         assert!(kinds.contains(&"paste"));

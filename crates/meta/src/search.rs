@@ -247,7 +247,11 @@ impl SearchEngine {
     pub fn search(&self, query: &SearchQuery) -> Result<Vec<SearchHit>> {
         // Candidate set from content terms, or all documents.
         let mut candidates: Vec<DocId> = if query.terms.is_empty() {
-            self.tdb.list_documents()?.into_iter().map(|d| d.id).collect()
+            self.tdb
+                .list_documents()?
+                .into_iter()
+                .map(|d| d.id)
+                .collect()
         } else {
             match query.mode {
                 TermMode::All => {
@@ -314,11 +318,7 @@ impl SearchEngine {
                 score,
             });
         }
-        hits.sort_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then_with(|| a.doc.cmp(&b.doc))
-        });
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
         hits.truncate(query.limit);
         Ok(hits)
     }
@@ -345,11 +345,7 @@ impl SearchEngine {
 
     fn score(&self, query: &SearchQuery, doc: DocId) -> Result<f64> {
         Ok(match query.rank {
-            RankBy::Relevance => query
-                .terms
-                .iter()
-                .map(|t| self.index.tf_idf(t, doc))
-                .sum(),
+            RankBy::Relevance => query.terms.iter().map(|t| self.index.tf_idf(t, doc)).sum(),
             RankBy::Newest => self.tdb.document_info(doc)?.created_at as f64,
             RankBy::MostCited => {
                 let t = self.tdb.tables();
@@ -429,10 +425,7 @@ mod tests {
 
     #[test]
     fn tokenizer_normalizes() {
-        assert_eq!(
-            tokenize("Hello, World! x2"),
-            vec!["hello", "world", "x2"]
-        );
+        assert_eq!(tokenize("Hello, World! x2"), vec!["hello", "world", "x2"]);
         assert!(tokenize("...").is_empty());
     }
 
@@ -526,7 +519,7 @@ mod tests {
             .search(&SearchQuery::terms("").rank_by(RankBy::Newest))
             .unwrap();
         assert_eq!(hits[0].doc, d3); // created last
-        // d1 read twice more.
+                                     // d1 read twice more.
         let _ = tdb.open(d1, bob).unwrap();
         let _ = tdb.open(d1, alice).unwrap();
         let hits = engine
@@ -555,14 +548,14 @@ mod tests {
     fn phrase_search_requires_adjacency() {
         let (tdb, ..) = corpus();
         let engine = SearchEngine::build(&tdb).unwrap();
-        let hits = engine
-            .search(&SearchQuery::phrase("revenue grew"))
-            .unwrap();
+        let hits = engine.search(&SearchQuery::phrase("revenue grew")).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].name, "report-q1");
         // Both words occur in d2 ("revenue flat… this quarter") but not
         // adjacently — the phrase filter rejects it.
-        let hits = engine.search(&SearchQuery::phrase("revenue quarter")).unwrap();
+        let hits = engine
+            .search(&SearchQuery::phrase("revenue quarter"))
+            .unwrap();
         assert!(hits.is_empty());
     }
 
@@ -591,7 +584,10 @@ mod tests {
     fn incremental_index_update() {
         let (tdb, alice, _bob, d1, ..) = corpus();
         let mut engine = SearchEngine::build(&tdb).unwrap();
-        assert!(engine.search(&SearchQuery::terms("zeppelin")).unwrap().is_empty());
+        assert!(engine
+            .search(&SearchQuery::terms("zeppelin"))
+            .unwrap()
+            .is_empty());
         // Edit d1 and re-index just that document.
         let mut h = tdb.open(d1, alice).unwrap();
         h.insert_text(0, "zeppelin ").unwrap();
@@ -604,7 +600,10 @@ mod tests {
         assert_eq!(hits.len(), 1);
         // Removal drops the document entirely.
         engine.remove_document(d1);
-        assert!(engine.search(&SearchQuery::terms("zeppelin")).unwrap().is_empty());
+        assert!(engine
+            .search(&SearchQuery::terms("zeppelin"))
+            .unwrap()
+            .is_empty());
         assert_eq!(engine.index().doc_count(), 2);
     }
 

@@ -7,9 +7,7 @@
 //! a predecessor edge; every state change is an audited transaction.
 
 use tendax_storage::{DataType, Predicate, Row, StorageError, TableDef, TableId, Value};
-use tendax_text::{
-    CharId, DocId, Permission, Result, RoleId, TextDb, TextError, UserId,
-};
+use tendax_text::{CharId, DocId, Permission, Result, RoleId, TextDb, TextError, UserId};
 
 use crate::model::{Assignee, Task, TaskId, TaskLogEntry, TaskSpec, TaskState};
 
@@ -87,7 +85,8 @@ impl ProcessEngine {
     /// Define a task inside a document. Requires
     /// [`Permission::DefineProcess`] on the document.
     pub fn define_task(&self, doc: DocId, by: UserId, spec: TaskSpec) -> Result<TaskId> {
-        self.tdb.check_permission(doc, by, Permission::DefineProcess)?;
+        self.tdb
+            .check_permission(doc, by, Permission::DefineProcess)?;
         let mut txn = self.tdb.database().begin();
         let ts = self.tdb.now();
         let rid = txn.insert(
@@ -622,7 +621,10 @@ mod tests {
         assert!(engine.is_actionable(ids[1]).unwrap());
         engine.complete(ids[1], bob, "").unwrap();
         engine.complete(ids[2], alice, "").unwrap();
-        assert_eq!(engine.tasks_in_state(doc, TaskState::Done).unwrap().len(), 3);
+        assert_eq!(
+            engine.tasks_in_state(doc, TaskState::Done).unwrap().len(),
+            3
+        );
     }
 
     #[test]
@@ -694,9 +696,15 @@ mod tests {
             .define_task(doc, alice, TaskSpec::new("b", Assignee::User(bob)))
             .unwrap();
         engine.complete(t1, bob, "").unwrap();
-        assert_eq!(engine.tasks_in_state(doc, TaskState::Done).unwrap().len(), 1);
         assert_eq!(
-            engine.tasks_in_state(doc, TaskState::Pending).unwrap().len(),
+            engine.tasks_in_state(doc, TaskState::Done).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            engine
+                .tasks_in_state(doc, TaskState::Pending)
+                .unwrap()
+                .len(),
             1
         );
         assert_eq!(engine.tasks_of_doc(doc).unwrap().len(), 2);
@@ -709,10 +717,18 @@ mod tests {
         let past1 = tdb.now();
         let past2 = tdb.now();
         let t_late = engine
-            .define_task(doc, alice, TaskSpec::new("very late", Assignee::User(bob)).due(past1))
+            .define_task(
+                doc,
+                alice,
+                TaskSpec::new("very late", Assignee::User(bob)).due(past1),
+            )
             .unwrap();
         let t_later = engine
-            .define_task(doc, alice, TaskSpec::new("late", Assignee::User(bob)).due(past2))
+            .define_task(
+                doc,
+                alice,
+                TaskSpec::new("late", Assignee::User(bob)).due(past2),
+            )
             .unwrap();
         let _future = engine
             .define_task(
@@ -752,10 +768,7 @@ mod tests {
         let t = engine.task(task).unwrap();
         assert_eq!(t.range, Some((from, to)));
         // The anchored span is findable in the live document.
-        let span = (
-            h.position_of(from).unwrap(),
-            h.position_of(to).unwrap(),
-        );
+        let span = (h.position_of(from).unwrap(), h.position_of(to).unwrap());
         assert_eq!(span, (7, 15));
     }
 }

@@ -2,18 +2,23 @@
 //! operations against a simple model; lifecycle invariants must hold at
 //! every step.
 
-
 use proptest::prelude::*;
 use tendax_process::{Assignee, ProcessEngine, TaskId, TaskSpec, TaskState};
 use tendax_text::{DocId, TextDb, UserId};
 
 #[derive(Debug, Clone)]
 enum WfOp {
-    Define { assignee: usize, after: Option<usize> },
+    Define {
+        assignee: usize,
+        after: Option<usize>,
+    },
     Complete(usize),
     Reject(usize),
     Cancel(usize),
-    Reassign { task: usize, to: usize },
+    Reassign {
+        task: usize,
+        to: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = WfOp> {

@@ -165,8 +165,8 @@ impl Transaction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::error::StorageError;
     use crate::db::Database;
+    use crate::error::StorageError;
     use crate::row::Row;
     use crate::schema::TableDef;
     use crate::value::DataType;
@@ -207,7 +207,8 @@ mod tests {
         let (db, t) = setup();
         let txn = db.begin();
         assert_eq!(
-            txn.aggregate(t, &Predicate::True, &Aggregate::Count).unwrap(),
+            txn.aggregate(t, &Predicate::True, &Aggregate::Count)
+                .unwrap(),
             Value::Int(5)
         );
         assert_eq!(
@@ -233,7 +234,8 @@ mod tests {
         let txn = db.begin();
         let east = Predicate::Eq("region".into(), Value::Text("east".into()));
         assert_eq!(
-            txn.aggregate(t, &east, &Aggregate::Sum("amount".into())).unwrap(),
+            txn.aggregate(t, &east, &Aggregate::Sum("amount".into()))
+                .unwrap(),
             Value::Int(40)
         );
         assert_eq!(
@@ -258,7 +260,12 @@ mod tests {
             ]
         );
         let sums = txn
-            .group_by(t, &Predicate::True, "region", &Aggregate::Sum("amount".into()))
+            .group_by(
+                t,
+                &Predicate::True,
+                "region",
+                &Aggregate::Sum("amount".into()),
+            )
             .unwrap();
         assert_eq!(sums[0], (Value::Text("east".into()), Value::Int(40)));
         assert_eq!(sums[2], (Value::Text("west".into()), Value::Int(5)));
@@ -275,11 +282,13 @@ mod tests {
         assert_eq!(avg, Value::Float(43.0 / 5.0));
         let none = Predicate::Eq("region".into(), Value::Text("nowhere".into()));
         assert_eq!(
-            txn.aggregate(t, &none, &Aggregate::Avg("amount".into())).unwrap(),
+            txn.aggregate(t, &none, &Aggregate::Avg("amount".into()))
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            txn.aggregate(t, &none, &Aggregate::Min("amount".into())).unwrap(),
+            txn.aggregate(t, &none, &Aggregate::Min("amount".into()))
+                .unwrap(),
             Value::Null
         );
     }

@@ -419,7 +419,10 @@ impl Database {
             let check = validate_writes(&writes, &created, txn.snapshot_ts(), txn.id(), &refs);
             if let Err(e) = check {
                 if matches!(e, StorageError::WriteConflict { .. }) {
-                    self.inner.counters.conflicts.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .counters
+                        .conflicts
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 return Err(e);
             }
@@ -488,7 +491,9 @@ impl Database {
         let ticket = self.wal_stage(commit_ts, &rec)?;
 
         for ((tid, _), guard) in handles.iter().zip(guards.iter_mut()) {
-            let ws = writes.get(tid).expect("handle exists only for written table");
+            let ws = writes
+                .get(tid)
+                .expect("handle exists only for written table");
             for (&rid, op) in ws {
                 let vop = match op {
                     // Same shared allocation the WAL record holds.
@@ -580,7 +585,10 @@ impl Database {
     }
 
     pub(crate) fn note_point_get(&self) {
-        self.inner.counters.point_gets.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .point_gets
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_index_lookup(&self) {
@@ -759,7 +767,12 @@ impl Database {
 
     /// Engine statistics snapshot.
     pub fn stats(&self) -> Stats {
-        let wal = self.inner.wal.get().map(GroupWal::stats).unwrap_or_default();
+        let wal = self
+            .inner
+            .wal
+            .get()
+            .map(GroupWal::stats)
+            .unwrap_or_default();
         Stats {
             commits: self.inner.counters.commits.load(Ordering::Relaxed),
             aborts: self.inner.counters.aborts.load(Ordering::Relaxed),
@@ -799,7 +812,9 @@ impl Database {
         let latest = self.last_commit_ts();
         let mut out = Vec::new();
         for (id, def) in catalog.tables() {
-            let Some(handle) = tables.get(&id) else { continue };
+            let Some(handle) = tables.get(&id) else {
+                continue;
+            };
             let store = handle.read();
             out.push(TableStats {
                 name: def.name.clone(),
@@ -808,13 +823,7 @@ impl Database {
                 indexes: store
                     .indexes()
                     .iter()
-                    .map(|i| {
-                        (
-                            i.definition().name.clone(),
-                            i.key_count(),
-                            i.entry_count(),
-                        )
-                    })
+                    .map(|i| (i.definition().name.clone(), i.key_count(), i.entry_count()))
                     .collect(),
             });
         }
@@ -867,7 +876,13 @@ mod tests {
         assert!(ts > 0);
         let after = db.begin();
         assert_eq!(
-            after.get(t, rid).unwrap().unwrap().get(0).unwrap().as_text(),
+            after
+                .get(t, rid)
+                .unwrap()
+                .unwrap()
+                .get(0)
+                .unwrap()
+                .as_text(),
             Some("a")
         );
         // The old snapshot still can't see it.
@@ -971,7 +986,10 @@ mod tests {
         mv.commit().unwrap();
         let rows = db
             .begin()
-            .scan(t, &Predicate::Eq("name".into(), Value::Text("taken".into())))
+            .scan(
+                t,
+                &Predicate::Eq("name".into(), Value::Text("taken".into())),
+            )
             .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1.get(1).unwrap().as_id(), Some(2));
@@ -1102,7 +1120,8 @@ mod tests {
 
         let mut txn = db.begin();
         txn.insert(t, doc_row("a", 1)).unwrap();
-        txn.set(t, rid, &[("name", Value::Text("z".into()))]).unwrap();
+        txn.set(t, rid, &[("name", Value::Text("z".into()))])
+            .unwrap();
         let rows = txn
             .index_range(
                 t,
@@ -1139,7 +1158,10 @@ mod tests {
 
         let txn = db.begin();
         let prefix = [Value::Id(1)];
-        let (k1, _, r1) = txn.index_prev(t, "by_doc_ts", &prefix, None).unwrap().unwrap();
+        let (k1, _, r1) = txn
+            .index_prev(t, "by_doc_ts", &prefix, None)
+            .unwrap()
+            .unwrap();
         assert_eq!(r1.get(1).unwrap().as_timestamp(), Some(30));
         let (k2, _, r2) = txn
             .index_prev(t, "by_doc_ts", &prefix, Some(&k1))
@@ -1276,7 +1298,8 @@ mod tests {
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let mut w = db.begin();
-                    w.set(t, rid, &[("author", Value::Id(i % 100 + 1))]).unwrap();
+                    w.set(t, rid, &[("author", Value::Id(i % 100 + 1))])
+                        .unwrap();
                     w.commit().unwrap();
                     i += 1;
                 }
@@ -1327,7 +1350,10 @@ mod tests {
         }));
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while db.stats().maintenance_vacuums == 0 {
-            assert!(std::time::Instant::now() < deadline, "auto-vacuum never ran");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "auto-vacuum never ran"
+            );
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert!(db.stats().versions_pruned >= 50);
@@ -1426,7 +1452,11 @@ mod tests {
         assert_eq!(s.live_rows, 1);
         assert_eq!(s.versions, 4); // 2 inserts + update + delete
         assert_eq!(s.indexes.len(), 2);
-        let by_name = s.indexes.iter().find(|(n, _, _)| n == "docs_by_name").unwrap();
+        let by_name = s
+            .indexes
+            .iter()
+            .find(|(n, _, _)| n == "docs_by_name")
+            .unwrap();
         assert_eq!(by_name.1, 2); // keys "a", "b" (superset over versions)
     }
 
@@ -1497,17 +1527,15 @@ mod tests {
         {
             let db = Database::open(&path, Options::default()).unwrap();
             let t = db
-                .create_table(
-                    TableDef::new("evts")
-                        .column("at", DataType::Timestamp),
-                )
+                .create_table(TableDef::new("evts").column("at", DataType::Timestamp))
                 .unwrap();
             for _ in 0..50 {
                 db.now();
             }
             high_ts = db.now();
             let mut txn = db.begin();
-            txn.insert(t, Row::new(vec![Value::Timestamp(high_ts)])).unwrap();
+            txn.insert(t, Row::new(vec![Value::Timestamp(high_ts)]))
+                .unwrap();
             txn.commit().unwrap();
             // No checkpoint: crash without a Meta record.
         }

@@ -102,7 +102,9 @@ pub(crate) struct MaintenanceTask {
 
 impl std::fmt::Debug for Ctl {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ctl").field("stop", &*self.stop.lock()).finish()
+        f.debug_struct("Ctl")
+            .field("stop", &*self.stop.lock())
+            .finish()
     }
 }
 

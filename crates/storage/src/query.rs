@@ -98,9 +98,9 @@ impl Predicate {
                 !x.is_null() && vs.contains(x)
             }
             Predicate::IsNull(c) => col(def, row, c)?.is_null(),
-            Predicate::Contains(c, needle) => {
-                col(def, row, c)?.as_text().is_some_and(|t| t.contains(needle))
-            }
+            Predicate::Contains(c, needle) => col(def, row, c)?
+                .as_text()
+                .is_some_and(|t| t.contains(needle)),
             Predicate::And(ps) => {
                 for p in ps {
                     if !p.eval(def, row)? {
@@ -135,12 +135,7 @@ fn col<'r>(def: &TableDef, row: &'r Row, name: &str) -> Result<&'r Value> {
     Ok(row.get(pos).unwrap_or(&Value::Null))
 }
 
-fn cmp_col(
-    def: &TableDef,
-    row: &Row,
-    name: &str,
-    v: &Value,
-) -> Result<Option<std::cmp::Ordering>> {
+fn cmp_col(def: &TableDef, row: &Row, name: &str, v: &Value) -> Result<Option<std::cmp::Ordering>> {
     let x = col(def, row, name)?;
     if x.is_null() || v.is_null() {
         return Ok(None); // SQL-ish: comparisons with NULL are unknown
@@ -155,7 +150,10 @@ pub enum AccessPath {
     FullScan,
     /// Point/prefix lookup on the index at position `index_pos`, with the
     /// given key prefix (values for the leading index columns).
-    IndexPrefix { index_pos: usize, prefix: Vec<Value> },
+    IndexPrefix {
+        index_pos: usize,
+        prefix: Vec<Value>,
+    },
 }
 
 /// Choose an access path for `pred` over `def`.
@@ -185,11 +183,7 @@ pub fn plan_access(def: &TableDef, pred: &Predicate) -> AccessPath {
                 None => break,
             }
         }
-        if !prefix.is_empty()
-            && best
-                .as_ref()
-                .is_none_or(|(_, bp)| prefix.len() > bp.len())
-        {
+        if !prefix.is_empty() && best.as_ref().is_none_or(|(_, bp)| prefix.len() > bp.len()) {
             best = Some((ipos, prefix));
         }
     }
@@ -244,17 +238,31 @@ mod tests {
     fn eval_comparisons() {
         let d = def();
         let r = row(1, 2, "hello world");
-        assert!(Predicate::Eq("doc".into(), Value::Id(1)).eval(&d, &r).unwrap());
-        assert!(!Predicate::Eq("doc".into(), Value::Id(9)).eval(&d, &r).unwrap());
-        assert!(Predicate::Ne("doc".into(), Value::Id(9)).eval(&d, &r).unwrap());
-        assert!(Predicate::Gt("author".into(), Value::Id(1)).eval(&d, &r).unwrap());
-        assert!(Predicate::Le("author".into(), Value::Id(2)).eval(&d, &r).unwrap());
-        assert!(Predicate::Between("author".into(), Value::Id(2), Value::Id(5))
+        assert!(Predicate::Eq("doc".into(), Value::Id(1))
             .eval(&d, &r)
             .unwrap());
-        assert!(Predicate::In("doc".into(), vec![Value::Id(3), Value::Id(1)])
+        assert!(!Predicate::Eq("doc".into(), Value::Id(9))
             .eval(&d, &r)
             .unwrap());
+        assert!(Predicate::Ne("doc".into(), Value::Id(9))
+            .eval(&d, &r)
+            .unwrap());
+        assert!(Predicate::Gt("author".into(), Value::Id(1))
+            .eval(&d, &r)
+            .unwrap());
+        assert!(Predicate::Le("author".into(), Value::Id(2))
+            .eval(&d, &r)
+            .unwrap());
+        assert!(
+            Predicate::Between("author".into(), Value::Id(2), Value::Id(5))
+                .eval(&d, &r)
+                .unwrap()
+        );
+        assert!(
+            Predicate::In("doc".into(), vec![Value::Id(3), Value::Id(1)])
+                .eval(&d, &r)
+                .unwrap()
+        );
         assert!(Predicate::Contains("text".into(), "lo wo".into())
             .eval(&d, &r)
             .unwrap());
@@ -302,7 +310,9 @@ mod tests {
     fn eval_unknown_column_errors() {
         let d = def();
         let r = row(1, 2, "x");
-        assert!(Predicate::Eq("bogus".into(), Value::Id(1)).eval(&d, &r).is_err());
+        assert!(Predicate::Eq("bogus".into(), Value::Id(1))
+            .eval(&d, &r)
+            .is_err());
     }
 
     #[test]

@@ -2,7 +2,6 @@
 
 use std::collections::BTreeMap;
 
-
 use crate::error::{Result, StorageError};
 use crate::value::{DataType, Value};
 
@@ -201,9 +200,7 @@ impl Catalog {
     }
 
     pub fn definition(&self, id: TableId) -> Result<&TableDef> {
-        self.by_id
-            .get(&id)
-            .ok_or(StorageError::UnknownTableId(id))
+        self.by_id.get(&id).ok_or(StorageError::UnknownTableId(id))
     }
 
     pub fn tables(&self) -> impl Iterator<Item = (TableId, &TableDef)> {
@@ -260,7 +257,10 @@ mod tests {
         let bad_arity = vec![Value::Id(1)];
         assert!(matches!(
             t.validate_row(&bad_arity),
-            Err(StorageError::ArityMismatch { expected: 3, actual: 1 })
+            Err(StorageError::ArityMismatch {
+                expected: 3,
+                actual: 1
+            })
         ));
 
         let bad_type = vec![Value::Int(1), Value::Text("a".into()), Value::Null];

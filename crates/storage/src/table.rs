@@ -147,12 +147,12 @@ impl TableStore {
 
     /// Iterate all rows visible at `ts`.
     pub fn scan_visible(&self, ts: Ts) -> impl Iterator<Item = (RowId, &SharedRow)> + '_ {
-        self.chains.iter().filter_map(move |(id, chain)| {
-            match newest_at(chain, ts)? {
+        self.chains
+            .iter()
+            .filter_map(move |(id, chain)| match newest_at(chain, ts)? {
                 VersionOp::Put(r) => Some((*id, r)),
                 VersionOp::Delete => None,
-            }
-        })
+            })
     }
 
     /// Pushed-down scan: plan an access path for `pred` against this
@@ -346,9 +346,18 @@ mod tests {
         t.apply(r, 5, put(1, "a"));
         t.apply(r, 9, put(1, "b"));
         assert!(t.visible(r, 4).is_none());
-        assert_eq!(t.visible(r, 5).unwrap().get(1).unwrap().as_text(), Some("a"));
-        assert_eq!(t.visible(r, 8).unwrap().get(1).unwrap().as_text(), Some("a"));
-        assert_eq!(t.visible(r, 9).unwrap().get(1).unwrap().as_text(), Some("b"));
+        assert_eq!(
+            t.visible(r, 5).unwrap().get(1).unwrap().as_text(),
+            Some("a")
+        );
+        assert_eq!(
+            t.visible(r, 8).unwrap().get(1).unwrap().as_text(),
+            Some("a")
+        );
+        assert_eq!(
+            t.visible(r, 9).unwrap().get(1).unwrap().as_text(),
+            Some("b")
+        );
         t.apply(r, 12, VersionOp::Delete);
         assert!(t.visible(r, 12).is_none());
         assert!(t.visible(r, 11).is_some());
@@ -410,11 +419,7 @@ mod tests {
         assert!(!t.unique_conflict(upos, &key, &|_| false));
         // Deleted rows do not hold keys.
         t.apply(a, 3, VersionOp::Delete);
-        assert!(!t.unique_conflict(
-            upos,
-            &vec![Value::Text("other".into())],
-            &|_| false
-        ));
+        assert!(!t.unique_conflict(upos, &vec![Value::Text("other".into())], &|_| false));
     }
 
     #[test]
@@ -429,8 +434,14 @@ mod tests {
         assert_eq!(pruned, 1); // version @1 superseded by @2 <= horizon
         assert_eq!(t.version_count(), 2);
         // Visibility at/after the horizon is unchanged.
-        assert_eq!(t.visible(r, 2).unwrap().get(1).unwrap().as_text(), Some("b"));
-        assert_eq!(t.visible(r, 3).unwrap().get(1).unwrap().as_text(), Some("c"));
+        assert_eq!(
+            t.visible(r, 2).unwrap().get(1).unwrap().as_text(),
+            Some("b")
+        );
+        assert_eq!(
+            t.visible(r, 3).unwrap().get(1).unwrap().as_text(),
+            Some("c")
+        );
     }
 
     #[test]
@@ -455,6 +466,9 @@ mod tests {
         assert_eq!(t.vacuum(3), 0);
         assert_eq!(t.version_count(), 2);
         // A snapshot between the two versions still reads the old one.
-        assert_eq!(t.visible(r, 7).unwrap().get(1).unwrap().as_text(), Some("a"));
+        assert_eq!(
+            t.visible(r, 7).unwrap().get(1).unwrap().as_text(),
+            Some("a")
+        );
     }
 }

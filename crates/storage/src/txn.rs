@@ -240,44 +240,48 @@ impl Transaction {
     ) -> Result<Vec<(RowId, SharedRow)>> {
         self.check_active()?;
         self.db.note_index_lookup();
-        let mut matched: BTreeMap<(IndexKey, RowId), SharedRow> = self.with_table(table, |t| {
-            let (_, idx) = t.index_by_name(index).ok_or_else(|| StorageError::UnknownIndex {
-                table: t.definition().name.clone(),
-                index: index.to_owned(),
-            })?;
-            let mut out = BTreeMap::new();
-            for (key, rid) in idx.range(lo, hi) {
-                if out.contains_key(&(key.clone(), rid)) {
-                    continue;
-                }
-                if let Some(row) = t.visible(rid, self.snapshot) {
-                    // Re-verify: the index is a superset over versions.
-                    if &idx.key_of(row) == key {
-                        out.insert((key.clone(), rid), row.clone());
+        let mut matched: BTreeMap<(IndexKey, RowId), SharedRow> =
+            self.with_table(table, |t| {
+                let (_, idx) =
+                    t.index_by_name(index)
+                        .ok_or_else(|| StorageError::UnknownIndex {
+                            table: t.definition().name.clone(),
+                            index: index.to_owned(),
+                        })?;
+                let mut out = BTreeMap::new();
+                for (key, rid) in idx.range(lo, hi) {
+                    if out.contains_key(&(key.clone(), rid)) {
+                        continue;
+                    }
+                    if let Some(row) = t.visible(rid, self.snapshot) {
+                        // Re-verify: the index is a superset over versions.
+                        if &idx.key_of(row) == key {
+                            out.insert((key.clone(), rid), row.clone());
+                        }
                     }
                 }
-            }
-            Ok::<_, StorageError>(out)
-        })??;
+                Ok::<_, StorageError>(out)
+            })??;
         // Overlay own writes: recompute their keys and membership.
         if let Some(ws) = self.writes.get(&table) {
             let key_bounds = (lo, hi);
-            let keys_of_own: Vec<(RowId, Option<(IndexKey, SharedRow)>)> = self.with_table(table, |t| {
-                let (_, idx) = t
-                    .index_by_name(index)
-                    .ok_or_else(|| StorageError::UnknownIndex {
-                        table: t.definition().name.clone(),
-                        index: index.to_owned(),
-                    })?;
-                Ok::<_, StorageError>(
-                    ws.iter()
-                        .map(|(rid, op)| match op {
-                            WriteOp::Put(r) => (*rid, Some((idx.key_of(r), r.clone()))),
-                            WriteOp::Delete => (*rid, None),
-                        })
-                        .collect(),
-                )
-            })??;
+            let keys_of_own: Vec<(RowId, Option<(IndexKey, SharedRow)>)> =
+                self.with_table(table, |t| {
+                    let (_, idx) =
+                        t.index_by_name(index)
+                            .ok_or_else(|| StorageError::UnknownIndex {
+                                table: t.definition().name.clone(),
+                                index: index.to_owned(),
+                            })?;
+                    Ok::<_, StorageError>(
+                        ws.iter()
+                            .map(|(rid, op)| match op {
+                                WriteOp::Put(r) => (*rid, Some((idx.key_of(r), r.clone()))),
+                                WriteOp::Delete => (*rid, None),
+                            })
+                            .collect(),
+                    )
+                })??;
             for (rid, put) in keys_of_own {
                 // Remove any committed-version entry for this row: the own
                 // write supersedes it.
@@ -290,7 +294,10 @@ impl Transaction {
                 }
             }
         }
-        Ok(matched.into_iter().map(|((_, rid), row)| (rid, row)).collect())
+        Ok(matched
+            .into_iter()
+            .map(|((_, rid), row)| (rid, row))
+            .collect())
     }
 
     /// The greatest index entry under `prefix` strictly below `before`
@@ -323,10 +330,12 @@ impl Transaction {
         // Committed candidate: newest visible entry, skipping rows this
         // transaction has overwritten (their committed key is stale).
         let committed: Option<(IndexKey, RowId, SharedRow)> = self.with_table(table, |t| {
-            let (_, idx) = t.index_by_name(index).ok_or_else(|| StorageError::UnknownIndex {
-                table: t.definition().name.clone(),
-                index: index.to_owned(),
-            })?;
+            let (_, idx) = t
+                .index_by_name(index)
+                .ok_or_else(|| StorageError::UnknownIndex {
+                    table: t.definition().name.clone(),
+                    index: index.to_owned(),
+                })?;
             let hi = match (before, &prefix_hi) {
                 (Some(b), _) => Bound::Excluded(b),
                 (None, Some(h)) => Bound::Excluded(h),
@@ -357,12 +366,12 @@ impl Transaction {
         let own: Option<(IndexKey, RowId, SharedRow)> = match self.writes.get(&table) {
             None => None,
             Some(ws) => self.with_table(table, |t| {
-                let (_, idx) = t
-                    .index_by_name(index)
-                    .ok_or_else(|| StorageError::UnknownIndex {
-                        table: t.definition().name.clone(),
-                        index: index.to_owned(),
-                    })?;
+                let (_, idx) =
+                    t.index_by_name(index)
+                        .ok_or_else(|| StorageError::UnknownIndex {
+                            table: t.definition().name.clone(),
+                            index: index.to_owned(),
+                        })?;
                 let mut best: Option<(IndexKey, RowId, SharedRow)> = None;
                 for (&rid, op) in ws {
                     let WriteOp::Put(row) = op else { continue };
@@ -565,9 +574,7 @@ pub(crate) fn validate_writes(
     tables: &BTreeMap<TableId, &mut TableStore>,
 ) -> Result<()> {
     for (&tid, writes) in txn_writes {
-        let store = tables
-            .get(&tid)
-            .ok_or(StorageError::UnknownTableId(tid))?;
+        let store = tables.get(&tid).ok_or(StorageError::UnknownTableId(tid))?;
         // Write-write conflicts: someone committed past our snapshot.
         for &rid in writes.keys() {
             if created.contains(&(tid, rid)) {

@@ -7,7 +7,6 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-
 /// The declared type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {

@@ -126,12 +126,7 @@ impl GroupWal {
     /// `base_ts` is the newest commit timestamp already in the file
     /// (the recovered `last_commit_ts`; 0 for a fresh log): the drain
     /// cursor starts there so the first staged commit is `base_ts + 1`.
-    pub fn new(
-        file: WalFile,
-        durability: DurabilityLevel,
-        group: bool,
-        base_ts: Ts,
-    ) -> GroupWal {
+    pub fn new(file: WalFile, durability: DurabilityLevel, group: bool, base_ts: Ts) -> GroupWal {
         GroupWal {
             state: Mutex::new(GroupState {
                 drained_ts: base_ts,
@@ -246,7 +241,10 @@ impl GroupWal {
         let frame = encode_frame(rec);
         let mut st = self.state.lock();
         Self::check_poison(&st)?;
-        debug_assert!(ts > st.drained_ts, "commit ts staged twice or behind cursor");
+        debug_assert!(
+            ts > st.drained_ts,
+            "commit ts staged twice or behind cursor"
+        );
         st.staged.insert(ts, Some(frame));
         self.drain_staged(&mut st);
         Ok(WalTicket::Commit(ts))
@@ -399,7 +397,10 @@ impl GroupWal {
         // durable.
         let hi_ts = st.drained_ts;
         drop(st);
-        let res = self.file.lock().append_batch(&buf, records, self.durability);
+        let res = self
+            .file
+            .lock()
+            .append_batch(&buf, records, self.durability);
         let mut st = self.state.lock();
         st.leader_active = false;
         match res {
@@ -525,7 +526,9 @@ impl GroupWal {
         let mut splice = if buf.is_empty() {
             Ok(())
         } else {
-            self.file.lock().append_batch(&buf, tail_records, self.durability)
+            self.file
+                .lock()
+                .append_batch(&buf, tail_records, self.durability)
         };
         let mut inline_written = 0u64;
         if splice.is_ok() && !inline.is_empty() {
@@ -546,14 +549,17 @@ impl GroupWal {
                 st.durable_ts = st.durable_ts.max(hi_ts);
                 if tail_records > 0 {
                     self.batches_flushed.fetch_add(1, Ordering::Relaxed);
-                    self.records_flushed.fetch_add(tail_records, Ordering::Relaxed);
+                    self.records_flushed
+                        .fetch_add(tail_records, Ordering::Relaxed);
                     if self.durability == DurabilityLevel::Fsync {
                         self.fsyncs_saved
                             .fetch_add(tail_records.saturating_sub(1), Ordering::Relaxed);
                     }
                 }
-                self.batches_flushed.fetch_add(inline_written, Ordering::Relaxed);
-                self.records_flushed.fetch_add(inline_written, Ordering::Relaxed);
+                self.batches_flushed
+                    .fetch_add(inline_written, Ordering::Relaxed);
+                self.records_flushed
+                    .fetch_add(inline_written, Ordering::Relaxed);
                 self.cv.notify_all();
                 Ok(())
             }
@@ -637,7 +643,10 @@ impl Drop for GroupWal {
         if !st.buf.is_empty() {
             let buf = std::mem::take(&mut st.buf);
             let records = std::mem::take(&mut st.pending);
-            let _ = self.file.get_mut().append_batch(&buf, records, self.durability);
+            let _ = self
+                .file
+                .get_mut()
+                .append_batch(&buf, records, self.durability);
         }
         for (_, frame) in std::mem::take(&mut st.inline) {
             let _ = self.file.get_mut().append_batch(&frame, 1, self.durability);
@@ -673,7 +682,12 @@ mod tests {
     }
 
     fn open_group(path: &PathBuf, durability: DurabilityLevel, group: bool) -> GroupWal {
-        GroupWal::new(WalFile::open(path, durability).unwrap(), durability, group, 0)
+        GroupWal::new(
+            WalFile::open(path, durability).unwrap(),
+            durability,
+            group,
+            0,
+        )
     }
 
     #[test]
@@ -715,7 +729,10 @@ mod tests {
         }
         let s = wal.stats();
         assert_eq!(s.records_flushed, 5);
-        assert_eq!(s.batches_flushed, 1, "pre-staged records must share a flush");
+        assert_eq!(
+            s.batches_flushed, 1,
+            "pre-staged records must share a flush"
+        );
         assert_eq!(s.fsyncs_saved, 4);
         assert_eq!(WalFile::replay(&path).unwrap().len(), 5);
     }
@@ -822,9 +839,7 @@ mod tests {
             let wal = wal.clone();
             handles.push(std::thread::spawn(move || {
                 // Higher timestamps tend to stage earlier.
-                std::thread::sleep(std::time::Duration::from_micros(
-                    (17 - ts) * 100,
-                ));
+                std::thread::sleep(std::time::Duration::from_micros((17 - ts) * 100));
                 let t = wal.stage_commit(ts, &meta(ts)).unwrap();
                 wal.wait_durable(t).unwrap();
             }));

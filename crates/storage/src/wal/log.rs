@@ -29,10 +29,7 @@ impl WalFile {
     /// Open (creating if needed) the log at `path` for appending.
     pub fn open(path: impl Into<PathBuf>, durability: DurabilityLevel) -> Result<Self> {
         let path = path.into();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)?;
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(WalFile {
             path,
             writer: BufWriter::new(file),
@@ -295,7 +292,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut wal = WalFile::open(&path, DurabilityLevel::Buffered).unwrap();
         wal.append(&meta(1)).unwrap();
-        wal.append(&WalRecord::DropTable { id: TableId(4) }).unwrap();
+        wal.append(&WalRecord::DropTable { id: TableId(4) })
+            .unwrap();
         wal.sync().unwrap();
         assert_eq!(wal.records_written(), 2);
 

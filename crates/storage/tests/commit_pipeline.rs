@@ -24,8 +24,8 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use tendax_storage::{
-    DataType, Database, DurabilityLevel, MaintenanceOptions, Options,
-    Predicate, Row, RowId, StorageError, TableDef, TableId, Ts, Value,
+    DataType, Database, DurabilityLevel, MaintenanceOptions, Options, Predicate, Row, RowId,
+    StorageError, TableDef, TableId, Ts, Value,
 };
 
 fn tmp(name: &str) -> PathBuf {
@@ -367,8 +367,7 @@ fn ddl_race(group_commit: bool, path_name: &str) {
                     let name = format!("scratch{c}");
                     let t = db.create_table(seq_table(&name)).unwrap();
                     let mut txn = db.begin();
-                    txn.insert(t, Row::new(vec![Value::Int(c as i64)]))
-                        .unwrap();
+                    txn.insert(t, Row::new(vec![Value::Int(c as i64)])).unwrap();
                     txn.commit().unwrap();
                     db.drop_table(&name).unwrap();
                 }
@@ -500,8 +499,7 @@ fn wal_replays_as_commit_order_prefix_at_every_cut() {
                         start.wait();
                         for i in 0..COMMITS {
                             let mut txn = db.begin();
-                            txn.insert(t, Row::new(vec![Value::Int(i)]))
-                                .unwrap();
+                            txn.insert(t, Row::new(vec![Value::Int(i)])).unwrap();
                             let ts = txn.commit().unwrap();
                             log.lock().unwrap().push((ts, k, i));
                         }
@@ -528,8 +526,7 @@ fn wal_replays_as_commit_order_prefix_at_every_cut() {
             let db = Database::open(&cut_path, Options::default()).unwrap();
             let horizon = db.last_commit_ts();
             for k in 0..WRITERS {
-                let recovered: BTreeSet<i64> = match db.table_id(&format!("t{k}"))
-                {
+                let recovered: BTreeSet<i64> = match db.table_id(&format!("t{k}")) {
                     Ok(t) => db
                         .begin()
                         .scan(t, &Predicate::True)
@@ -546,7 +543,8 @@ fn wal_replays_as_commit_order_prefix_at_every_cut() {
                     .map(|(_, _, v)| *v)
                     .collect();
                 assert_eq!(
-                    recovered, expected,
+                    recovered,
+                    expected,
                     "{durability:?} cut {cut}/{}: table {k} is not the \
                      ts<={horizon} prefix — the log was written out of \
                      commit order",

@@ -8,9 +8,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use tendax_storage::{
-    DataType, Database, Options, Predicate, Row, TableDef, Value,
-};
+use tendax_storage::{DataType, Database, Options, Predicate, Row, TableDef, Value};
 
 fn counter_table() -> TableDef {
     TableDef::new("t")
@@ -93,7 +91,11 @@ fn vacuum_races_updates_without_corrupting_reads() {
     let t = db.create_table(counter_table()).unwrap();
     let mut setup = db.begin();
     let rows: Vec<_> = (0..16u64)
-        .map(|w| setup.insert(t, Row::new(vec![Value::Id(w), Value::Int(0)])).unwrap())
+        .map(|w| {
+            setup
+                .insert(t, Row::new(vec![Value::Id(w), Value::Int(0)]))
+                .unwrap()
+        })
         .collect();
     setup.commit().unwrap();
 

@@ -206,7 +206,11 @@ fn stress_level(durability: DurabilityLevel, name: &str) {
     // With no active snapshots the vacuum horizon is last_commit_ts:
     // one pass prunes all superseded versions, a second finds nothing.
     db.vacuum();
-    assert_eq!(db.vacuum(), 0, "vacuum horizon did not return to last_commit_ts");
+    assert_eq!(
+        db.vacuum(),
+        0,
+        "vacuum horizon did not return to last_commit_ts"
+    );
 
     // Reopen: WAL replay must reconstruct the in-memory committed state.
     let mut expect: Vec<(u64, i64)> = db

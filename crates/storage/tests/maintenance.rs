@@ -15,8 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tendax_storage::{
-    DataType, Database, MaintenanceOptions, Options, Predicate, Row, TableDef,
-    Value,
+    DataType, Database, MaintenanceOptions, Options, Predicate, Row, TableDef, Value,
 };
 
 fn tmp(name: &str) -> PathBuf {
@@ -321,8 +320,7 @@ fn auto_maintenance_bounds_wal_and_preserves_data() {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             let stats = db.stats();
-            if stats.maintenance_checkpoints > 0 && stats.maintenance_vacuums > 0
-            {
+            if stats.maintenance_checkpoints > 0 && stats.maintenance_vacuums > 0 {
                 assert!(stats.versions_pruned > 0);
                 break;
             }

@@ -40,20 +40,13 @@ fn arb_wal_op() -> impl Strategy<Value = WalOp> {
 
 fn arb_record() -> impl Strategy<Value = WalRecord> {
     prop_oneof![
-        (any::<u64>(), any::<i64>()).prop_map(|(next_ts, clock)| WalRecord::Meta {
-            next_ts,
-            clock
-        }),
-        (any::<u32>()).prop_map(|id| WalRecord::DropTable {
-            id: TableId(id)
-        }),
+        (any::<u64>(), any::<i64>())
+            .prop_map(|(next_ts, clock)| WalRecord::Meta { next_ts, clock }),
+        (any::<u32>()).prop_map(|id| WalRecord::DropTable { id: TableId(id) }),
         (
             any::<u64>(),
             any::<u64>(),
-            proptest::collection::vec(
-                (any::<u32>(), any::<u64>(), arb_wal_op()),
-                0..6
-            )
+            proptest::collection::vec((any::<u32>(), any::<u64>(), arb_wal_op()), 0..6)
         )
             .prop_map(|(txn, commit_ts, ws)| WalRecord::Commit {
                 txn,
@@ -67,14 +60,14 @@ fn arb_record() -> impl Strategy<Value = WalRecord> {
                     })
                     .collect(),
             }),
-        (any::<u32>(), any::<u64>(), any::<u64>(), arb_wal_op()).prop_map(
-            |(t, r, ts, op)| WalRecord::SnapshotRow {
+        (any::<u32>(), any::<u64>(), any::<u64>(), arb_wal_op()).prop_map(|(t, r, ts, op)| {
+            WalRecord::SnapshotRow {
                 table: TableId(t),
                 row: RowId(r),
                 commit_ts: ts,
                 op,
             }
-        ),
+        }),
         (any::<u32>(), any::<u64>()).prop_map(|(t, w)| WalRecord::Watermark {
             table: TableId(t),
             next_row_id: w

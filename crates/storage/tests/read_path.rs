@@ -11,8 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use tendax_storage::{
-    DataType, Database, DurabilityLevel, Options, Predicate, Row, TableDef,
-    Value,
+    DataType, Database, DurabilityLevel, Options, Predicate, Row, TableDef, Value,
 };
 
 fn doc_table() -> TableDef {
@@ -85,7 +84,8 @@ fn shared_row_survives_later_commits_and_vacuum() {
     // Overwrite the row and vacuum away old versions; the handle the
     // reader already holds must keep its original contents.
     let mut w = db.begin();
-    w.set(t, rid, &[("text", Value::Text("rewritten".into()))]).unwrap();
+    w.set(t, rid, &[("text", Value::Text("rewritten".into()))])
+        .unwrap();
     w.commit().unwrap();
     drop(reader); // snapshot released; vacuum may now reclaim the chain
     db.vacuum();

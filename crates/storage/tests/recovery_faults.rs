@@ -6,9 +6,7 @@
 use std::path::PathBuf;
 
 use proptest::prelude::*;
-use tendax_storage::{
-    DataType, Database, Options, Predicate, Row, TableDef, Value,
-};
+use tendax_storage::{DataType, Database, Options, Predicate, Row, TableDef, Value};
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(

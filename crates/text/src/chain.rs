@@ -140,9 +140,8 @@ impl Chain {
     fn update(&mut self, n: usize) {
         let (l, r) = (self.nodes[n].left, self.nodes[n].right);
         self.nodes[n].total = 1 + self.subtree_total(l) + self.subtree_total(r);
-        self.nodes[n].visible_count = self.nodes[n].visible as usize
-            + self.subtree_visible(l)
-            + self.subtree_visible(r);
+        self.nodes[n].visible_count =
+            self.nodes[n].visible as usize + self.subtree_visible(l) + self.subtree_visible(r);
     }
 
     fn merge(&mut self, a: usize, b: usize) -> usize {
@@ -501,8 +500,7 @@ mod tests {
         assert_eq!(c.visible_count_through(3), 2);
         assert_eq!(c.visible_count_through(4), 3);
         // Agreement with a naive count for a larger randomized chain.
-        let items: Vec<(CharId, bool)> =
-            (1..=200u64).map(|i| (CharId(i), i % 3 != 0)).collect();
+        let items: Vec<(CharId, bool)> = (1..=200u64).map(|i| (CharId(i), i % 3 != 0)).collect();
         let c = Chain::build(items.clone()).unwrap();
         for k in 0..items.len() {
             let naive = items[..=k].iter().filter(|(_, v)| *v).count();

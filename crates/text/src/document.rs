@@ -198,13 +198,13 @@ impl DocHandle {
                 created_at: row.get(5).and_then(|v| v.as_timestamp()).unwrap_or(0),
                 version: row.get(6).and_then(|v| v.as_int()).unwrap_or(0),
                 deleted: row.get(7).and_then(|v| v.as_bool()).unwrap_or(false),
-                style: row.get(10).map(StyleId::from_value).unwrap_or(StyleId::NONE),
+                style: row
+                    .get(10)
+                    .map(StyleId::from_value)
+                    .unwrap_or(StyleId::NONE),
                 src_doc: row.get(11).map(DocId::from_value).unwrap_or(DocId::NONE),
                 src_char: row.get(12).map(CharId::from_value).unwrap_or(CharId::NONE),
-                external_src: row
-                    .get(13)
-                    .and_then(|v| v.as_text())
-                    .map(str::to_owned),
+                external_src: row.get(13).and_then(|v| v.as_text()).map(str::to_owned),
             };
             if prev.is_none() {
                 if !head.is_none() {
@@ -243,9 +243,8 @@ impl DocHandle {
                 self.doc
             )));
         }
-        self.chain = Chain::build(order).map_err(|e| {
-            TextError::ChainCorrupt(format!("rebuilding {}: {e}", self.doc))
-        })?;
+        self.chain = Chain::build(order)
+            .map_err(|e| TextError::ChainCorrupt(format!("rebuilding {}: {e}", self.doc)))?;
         self.cache = cache;
         Ok(())
     }

@@ -36,7 +36,11 @@ pub enum TextError {
     /// The edit touches a protected character range.
     RangeProtected { doc: DocId, pos: usize },
     /// Position/length outside the document.
-    InvalidPosition { pos: usize, len: usize, doc_len: usize },
+    InvalidPosition {
+        pos: usize,
+        len: usize,
+        doc_len: usize,
+    },
     /// Undo requested but no undoable operation exists.
     NothingToUndo,
     /// Redo requested but no redoable operation exists.
@@ -99,7 +103,10 @@ impl fmt::Display for TextError {
                 write!(f, "cached view of {doc} is stale; refresh and retry")
             }
             TextError::StaleCache(doc) => {
-                write!(f, "position cache of {doc} is incoherent; refresh and retry")
+                write!(
+                    f,
+                    "position cache of {doc} is incoherent; refresh and retry"
+                )
             }
             TextError::RetriesExhausted { attempts } => {
                 write!(f, "edit still conflicting after {attempts} attempts")

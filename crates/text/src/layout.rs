@@ -137,10 +137,7 @@ impl DocHandle {
             });
         }
         self.check_range(pos, len)?;
-        let from = self
-            .chain
-            .id_at_visible(pos)
-            .expect("range checked above");
+        let from = self.chain.id_at_visible(pos).expect("range checked above");
         let to = self
             .chain
             .id_at_visible(pos + len - 1)

@@ -41,8 +41,8 @@ pub mod objects;
 pub mod ops;
 pub mod render;
 pub mod schema;
-pub mod template;
 pub mod security;
+pub mod template;
 pub mod textdb;
 pub mod undo;
 pub mod vacuum;
@@ -52,7 +52,9 @@ pub use chain::Chain;
 pub use document::{CharInfo, DocHandle};
 pub use error::{Result, TextError};
 pub use history::HistoryEntry;
-pub use ids::{CharId, DocId, NoteId, ObjectId, OpId, RoleId, StructId, StyleId, UserId, VersionId};
+pub use ids::{
+    CharId, DocId, NoteId, ObjectId, OpId, RoleId, StructId, StyleId, UserId, VersionId,
+};
 pub use layout::StructureInfo;
 pub use meta::{CharMeta, DocStats, Provenance};
 pub use notes::NoteInfo;

@@ -290,10 +290,8 @@ impl DocHandle {
             });
         }
         let src_ids = self.chain.visible_range(pos, len);
-        let moved: Vec<(CharId, char)> = src_ids
-            .iter()
-            .map(|id| (*id, self.cache[id].ch))
-            .collect();
+        let moved: Vec<(CharId, char)> =
+            src_ids.iter().map(|id| (*id, self.cache[id].ch)).collect();
         let t = *self.tdb.tables();
 
         // Destination anchors (same logic as insert_chars).
@@ -333,7 +331,12 @@ impl DocHandle {
             None => match dst_next {
                 Some(n) => {
                     let row = txn.get(t.chars, n.row())?.ok_or_else(stale)?;
-                    if !row.get(1).map(CharId::from_value).unwrap_or(CharId::NONE).is_none() {
+                    if !row
+                        .get(1)
+                        .map(CharId::from_value)
+                        .unwrap_or(CharId::NONE)
+                        .is_none()
+                    {
                         return Err(stale());
                     }
                 }
@@ -464,7 +467,10 @@ impl DocHandle {
             // and still return the receipt. For our own just-committed
             // ids this is unreachable — hence the debug_assert.
             let inserted = dst.chain.insert_after(anchor, id, true);
-            debug_assert!(inserted.is_ok(), "own committed insert rejected: {inserted:?}");
+            debug_assert!(
+                inserted.is_ok(),
+                "own committed insert rejected: {inserted:?}"
+            );
             dst_stale |= inserted.is_err();
             dst.cache.insert(
                 id,
@@ -669,19 +675,16 @@ impl DocHandle {
             None => {
                 // Head insert: touch the document row so two concurrent
                 // head inserts conflict instead of creating two heads.
-                let state = self
-                    .tdb
-                    .document_info_txn(&txn, self.doc)?
-                    .state;
-                txn.set(t.documents, self.doc.row(), &[("state", Value::Text(state))])?;
+                let state = self.tdb.document_info_txn(&txn, self.doc)?.state;
+                txn.set(
+                    t.documents,
+                    self.doc.row(),
+                    &[("state", Value::Text(state))],
+                )?;
             }
         }
         if let Some(n) = next_id {
-            txn.set(
-                t.chars,
-                n.row(),
-                &[("prev", ids[ids.len() - 1].value())],
-            )?;
+            txn.set(t.chars, n.row(), &[("prev", ids[ids.len() - 1].value())])?;
         }
 
         let op = self.log_op(&mut txn, kind, OpId::NONE, ts)?;
@@ -730,7 +733,10 @@ impl DocHandle {
             // self-healed (rebuild below), never surfaced as retryable —
             // a retry would commit the insert a second time.
             let inserted = self.chain.insert_after(anchor, id, true);
-            debug_assert!(inserted.is_ok(), "own committed insert rejected: {inserted:?}");
+            debug_assert!(
+                inserted.is_ok(),
+                "own committed insert rejected: {inserted:?}"
+            );
             stale |= inserted.is_err();
             self.cache.insert(
                 id,
@@ -1011,7 +1017,10 @@ mod tests {
         let events = txn
             .scan(tdb.tables().paste_events, &tendax_storage::Predicate::True)
             .unwrap();
-        assert_eq!(events[0].1.get(4).unwrap().as_text(), Some("https://example.org"));
+        assert_eq!(
+            events[0].1.get(4).unwrap().as_text(),
+            Some("https://example.org")
+        );
     }
 
     #[test]

@@ -187,7 +187,10 @@ mod tests {
         assert_eq!(h.render_markup().unwrap(), "ab [s:bold]cd[/s] ef");
         // Style to the end of the document closes at EOF.
         h.apply_style(6, 2, bold).unwrap();
-        assert_eq!(h.render_markup().unwrap(), "ab [s:bold]cd[/s] [s:bold]ef[/s]");
+        assert_eq!(
+            h.render_markup().unwrap(),
+            "ab [s:bold]cd[/s] [s:bold]ef[/s]"
+        );
     }
 
     #[test]
@@ -216,7 +219,8 @@ mod tests {
     #[test]
     fn outline_export() {
         let (_tdb, _u, mut h) = setup();
-        h.insert_text(0, "Heading\nsome body text\nItem one").unwrap();
+        h.insert_text(0, "Heading\nsome body text\nItem one")
+            .unwrap();
         h.set_structure(0, 7, "heading1").unwrap();
         h.set_structure(23, 8, "list_item").unwrap();
         let o = h.render_outline().unwrap();

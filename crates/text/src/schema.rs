@@ -340,7 +340,14 @@ mod tests {
         let db = Database::open_in_memory();
         let t = Tables::install(&db).unwrap();
         let def = db.table_def(t.chars).unwrap();
-        for col in ["prev", "next", "src_doc", "src_char", "external_src", "deleted"] {
+        for col in [
+            "prev",
+            "next",
+            "src_doc",
+            "src_char",
+            "external_src",
+            "deleted",
+        ] {
             assert!(def.column_position(col).is_some(), "missing column {col}");
         }
     }

@@ -229,12 +229,7 @@ impl crate::document::DocHandle {
 
     /// Remove every range protection covering exactly `[pos, pos+len)`
     /// for `principal`. Requires [`Permission::ManageSecurity`].
-    pub fn unprotect_range(
-        &mut self,
-        pos: usize,
-        len: usize,
-        principal: Principal,
-    ) -> Result<()> {
+    pub fn unprotect_range(&mut self, pos: usize, len: usize, principal: Principal) -> Result<()> {
         self.check_range(pos, len)?;
         let from = self.chain.id_at_visible(pos);
         let to = self.chain.id_at_visible(pos + len.saturating_sub(1));
@@ -328,11 +323,33 @@ mod tests {
     fn open_by_default_except_security_admin() {
         assert!(decide(&[], CREATOR, ALICE, &[], Permission::Write));
         assert!(decide(&[], CREATOR, ALICE, &[], Permission::Read));
-        assert!(!decide(&[], CREATOR, ALICE, &[], Permission::ManageSecurity));
-        assert!(decide(&[], CREATOR, CREATOR, &[], Permission::ManageSecurity));
+        assert!(!decide(
+            &[],
+            CREATOR,
+            ALICE,
+            &[],
+            Permission::ManageSecurity
+        ));
+        assert!(decide(
+            &[],
+            CREATOR,
+            CREATOR,
+            &[],
+            Permission::ManageSecurity
+        ));
         // An explicit allow opens it up.
-        let rules = vec![rule(Principal::User(ALICE), Permission::ManageSecurity, true)];
-        assert!(decide(&rules, CREATOR, ALICE, &[], Permission::ManageSecurity));
+        let rules = vec![rule(
+            Principal::User(ALICE),
+            Permission::ManageSecurity,
+            true,
+        )];
+        assert!(decide(
+            &rules,
+            CREATOR,
+            ALICE,
+            &[],
+            Permission::ManageSecurity
+        ));
     }
 
     #[test]
@@ -357,7 +374,13 @@ mod tests {
     #[test]
     fn role_membership_grants() {
         let rules = vec![rule(Principal::Role(EDITORS), Permission::Layout, true)];
-        assert!(decide(&rules, CREATOR, ALICE, &[EDITORS], Permission::Layout));
+        assert!(decide(
+            &rules,
+            CREATOR,
+            ALICE,
+            &[EDITORS],
+            Permission::Layout
+        ));
         assert!(!decide(&rules, CREATOR, ALICE, &[], Permission::Layout));
     }
 

@@ -186,7 +186,11 @@ mod tests {
             "report",
             u,
             "Title\n\nIntroduction\n\nConclusion",
-            &[("heading1", 0, 5), ("heading2", 7, 12), ("heading2", 21, 10)],
+            &[
+                ("heading1", 0, 5),
+                ("heading2", 7, 12),
+                ("heading2", 21, 10),
+            ],
         )
         .unwrap();
         let doc = tdb
@@ -207,7 +211,8 @@ mod tests {
     fn template_lookup_and_listing() {
         let (tdb, u) = setup();
         tdb.define_template("a", u, "aa", &[]).unwrap();
-        tdb.define_template("b", u, "bb", &[("para", 0, 2)]).unwrap();
+        tdb.define_template("b", u, "bb", &[("para", 0, 2)])
+            .unwrap();
         let all = tdb.list_templates().unwrap();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].name, "a");

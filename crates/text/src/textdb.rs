@@ -531,10 +531,18 @@ mod tests {
         let reviewers = tdb.create_role("reviewers").unwrap();
         tdb.assign_role(bob, reviewers).unwrap();
         let doc = tdb.create_document("paper", alice).unwrap();
-        tdb.set_access(doc, alice, Principal::Role(reviewers), Permission::Layout, true)
-            .unwrap();
+        tdb.set_access(
+            doc,
+            alice,
+            Principal::Role(reviewers),
+            Permission::Layout,
+            true,
+        )
+        .unwrap();
         tdb.check_permission(doc, bob, Permission::Layout).unwrap();
-        assert!(tdb.check_permission(doc, carol, Permission::Layout).is_err());
+        assert!(tdb
+            .check_permission(doc, carol, Permission::Layout)
+            .is_err());
     }
 
     #[test]
@@ -587,10 +595,12 @@ mod tests {
         let r: Result<i32> = tdb.retrying(5, || {
             calls += 1;
             if calls < 3 {
-                Err(TextError::Storage(tendax_storage::StorageError::WriteConflict {
-                    table: "chars".into(),
-                    txn: tendax_storage::TxnId(1),
-                }))
+                Err(TextError::Storage(
+                    tendax_storage::StorageError::WriteConflict {
+                        table: "chars".into(),
+                        txn: tendax_storage::TxnId(1),
+                    },
+                ))
             } else {
                 Ok(7)
             }

@@ -90,9 +90,8 @@ impl DocHandle {
         let (undo_op, undo_target) = self
             .newest_op(&txn, scope, |kind, undone| kind == "undo" && !undone)?
             .ok_or(TextError::NothingToRedo)?;
-        let target = undo_target.ok_or_else(|| {
-            TextError::ChainCorrupt(format!("undo op {undo_op} has no target"))
-        })?;
+        let target = undo_target
+            .ok_or_else(|| TextError::ChainCorrupt(format!("undo op {undo_op} has no target")))?;
         let rows = self.effect_rows(&txn, target)?;
         let ts = self.tdb.now();
         let effects = self.apply_effect_rows(&mut txn, &rows, true, ts)?;
@@ -126,10 +125,7 @@ impl DocHandle {
     ) -> Result<Option<(OpId, Option<OpId>)>> {
         let t = self.tdb.tables();
         let (index, prefix) = match scope {
-            Some(user) => (
-                "oplog_by_doc_user_ts",
-                vec![self.doc.value(), user.value()],
-            ),
+            Some(user) => ("oplog_by_doc_user_ts", vec![self.doc.value(), user.value()]),
             None => ("oplog_by_doc_ts", vec![self.doc.value()]),
         };
         let mut cursor: Option<tendax_storage::index::IndexKey> = None;
@@ -226,11 +222,7 @@ impl DocHandle {
                 }
                 // Structure / note rows: `char` holds the element row id.
                 ("struct", fwd) => {
-                    txn.set(
-                        t.structure,
-                        r.char.row(),
-                        &[("deleted", Value::Bool(!fwd))],
-                    )?;
+                    txn.set(t.structure, r.char.row(), &[("deleted", Value::Bool(!fwd))])?;
                 }
                 ("note", fwd) => {
                     txn.set(t.notes, r.char.row(), &[("deleted", Value::Bool(!fwd))])?;
@@ -314,7 +306,7 @@ mod tests {
         let mut hb = tdb.open(doc, bob).unwrap();
         hb.insert_text(6, "bob").unwrap();
         ha.apply_remote(&[]).unwrap(); // no-op; alice's view is stale but undo is id-based
-        // Alice's local undo must remove HER text, not Bob's.
+                                       // Alice's local undo must remove HER text, not Bob's.
         let receipt = ha.undo().unwrap();
         assert_eq!(receipt.effects.len(), 6);
         let fresh = tdb.open(doc, alice).unwrap();

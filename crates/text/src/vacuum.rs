@@ -88,11 +88,7 @@ impl TextDb {
             .copied()
             .filter(|id| !nodes[id].purge)
             .collect();
-        let purged: Vec<CharId> = order
-            .iter()
-            .copied()
-            .filter(|id| nodes[id].purge)
-            .collect();
+        let purged: Vec<CharId> = order.iter().copied().filter(|id| nodes[id].purge).collect();
         if purged.is_empty() {
             txn.abort();
             return Ok(PurgeStats::default());
@@ -101,7 +97,11 @@ impl TextDb {
         // Re-link survivors whose neighbours changed.
         let mut relinked = 0;
         for (i, id) in survivors.iter().enumerate() {
-            let new_prev = if i == 0 { CharId::NONE } else { survivors[i - 1] };
+            let new_prev = if i == 0 {
+                CharId::NONE
+            } else {
+                survivors[i - 1]
+            };
             let new_next = survivors.get(i + 1).copied().unwrap_or(CharId::NONE);
             let node = &nodes[id];
             if node.prev != new_prev || node.next != new_next {
@@ -193,7 +193,7 @@ mod tests {
         h.delete_range(0, 2).unwrap();
         let mid = tdb.now();
         h.delete_range(0, 2).unwrap(); // deletes "cd" after `mid`
-        // Only the first deletion is older than `mid`.
+                                       // Only the first deletion is older than `mid`.
         let stats = tdb.purge_tombstones(d, mid).unwrap();
         assert_eq!(stats.purged_chars, 2);
         let h2 = tdb.open(d, u).unwrap();

@@ -71,8 +71,7 @@ impl DocHandle {
     pub fn version_content(&self, name: &str) -> Result<String> {
         let t = self.tdb.tables();
         let txn = self.begin();
-        let rows =
-            txn.index_lookup(t.doc_versions, "doc_versions_by_doc", &[self.doc.value()])?;
+        let rows = txn.index_lookup(t.doc_versions, "doc_versions_by_doc", &[self.doc.value()])?;
         rows.into_iter()
             .filter(|(_, row)| row.get(1).and_then(|v| v.as_text()) == Some(name))
             .max_by_key(|(_, row)| row.get(3).and_then(|v| v.as_timestamp()).unwrap_or(0))

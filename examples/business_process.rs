@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --example business_process`
 
-use tendax_core::{Assignee, Platform, Tendax, TaskSpec, TaskState};
+use tendax_core::{Assignee, Platform, TaskSpec, TaskState, Tendax};
 
 fn main() -> tendax_core::Result<()> {
     let tx = Tendax::in_memory()?;
@@ -44,7 +44,10 @@ fn main() -> tendax_core::Result<()> {
 
     // Bob completes his task; the translation task becomes actionable.
     engine.complete(draft, bob, "clause drafted")?;
-    println!("after draft done, carol's inbox: {:?}", names(&engine.inbox(carol)?));
+    println!(
+        "after draft done, carol's inbox: {:?}",
+        names(&engine.inbox(carol)?)
+    );
 
     // Meanwhile the document changes — the task's anchored span moves.
     editor.type_text(0, ">>> ")?;
@@ -54,7 +57,10 @@ fn main() -> tendax_core::Result<()> {
         editor.handle().position_of(f),
         editor.handle().position_of(t),
     );
-    println!("task '{}' now anchored at visible span {:?}", task.name, span);
+    println!(
+        "task '{}' now anchored at visible span {:?}",
+        task.name, span
+    );
 
     // Dynamic re-routing at run time: carol hands the task to bob.
     engine.reassign(translate, carol, Assignee::User(bob))?;

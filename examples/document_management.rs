@@ -28,7 +28,11 @@ fn main() -> tendax_core::Result<()> {
     ed_press.type_text(0, "PRESS: ")?;
     let clip = ed_report.copy(0, 27)?; // "Revenue grew twelve percent"
     ed_press.paste(7, &clip)?;
-    ed_press.paste_external(ed_press.len(), " (source: newswire)", "https://newswire.example")?;
+    ed_press.paste_external(
+        ed_press.len(),
+        " (source: newswire)",
+        "https://newswire.example",
+    )?;
 
     let sb = tx.connect("bob", Platform::Linux)?;
     let mut ed_wiki = sb.open("team-wiki")?;
@@ -41,7 +45,10 @@ fn main() -> tendax_core::Result<()> {
     let f = folders.create_folder(
         "read-by-bob",
         bob,
-        FolderRule::ReadBy { user: bob.0, since: 0 },
+        FolderRule::ReadBy {
+            user: bob.0,
+            since: 0,
+        },
     )?;
     let mut watch = folders.watch(f)?;
     println!("folder 'read-by-bob': {:?}", watch.contents());
@@ -71,15 +78,24 @@ fn main() -> tendax_core::Result<()> {
         println!("  {:<16} score {:.4}", h.name, h.score);
     }
     let cited = search.search(&SearchQuery::terms("").rank_by(RankBy::MostCited))?;
-    println!("most cited: {} ({} incoming pastes)", cited[0].name, cited[0].score);
+    println!(
+        "most cited: {} ({} incoming pastes)",
+        cited[0].name, cited[0].score
+    );
     let by_bob = search.search(&SearchQuery::terms("").filter(SearchFilter::ReadBy(bob)))?;
-    println!("read by bob: {:?}", by_bob.iter().map(|h| &h.name).collect::<Vec<_>>());
+    println!(
+        "read by bob: {:?}",
+        by_bob.iter().map(|h| &h.name).collect::<Vec<_>>()
+    );
 
     // --- Visual & text mining (Figure 2) -------------------------------------
     let space = tx.document_space(2)?;
     print!("{}", space.render_ascii(48, 14));
     for p in &space.points {
-        println!("  {:<16} -> ({:>6.2}, {:>6.2}) cluster {}", p.name, p.x, p.y, p.cluster);
+        println!(
+            "  {:<16} -> ({:>6.2}, {:>6.2}) cluster {}",
+            p.name, p.x, p.y, p.cluster
+        );
     }
     let terms = top_terms(tx.textdb(), report, 3)?;
     println!("characteristic terms of annual-report: {terms:?}");

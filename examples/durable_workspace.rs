@@ -27,7 +27,11 @@ fn main() -> tendax_core::Result<()> {
             "weekly-report",
             alice,
             "Weekly Report\n\nHighlights:\n\nRisks:",
-            &[("heading1", 0, 13), ("heading2", 15, 11), ("heading2", 28, 6)],
+            &[
+                ("heading1", 0, 13),
+                ("heading2", 15, 11),
+                ("heading2", 28, 6),
+            ],
         )?;
         tx.textdb()
             .create_document_from_template("week-27", alice, "weekly-report")?;

@@ -78,7 +78,10 @@ fn main() -> tendax_core::Result<()> {
 
     // --- Local vs global undo -------------------------------------------
     doc.undo()?; // alice undoes her style op? No: her last edit op (style)
-    println!("after alice's local undo, style runs: {:?}", doc.handle().style_runs().len());
+    println!(
+        "after alice's local undo, style runs: {:?}",
+        doc.handle().style_runs().len()
+    );
     doc.global_undo()?; // newest edit by anyone
     println!("after global undo ({} chars): {}", doc.len(), doc.text());
     Ok(())

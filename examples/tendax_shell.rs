@@ -33,9 +33,7 @@
 use std::collections::HashMap;
 use std::io::BufRead;
 
-use tendax_core::{
-    Assignee, FolderRule, Platform, SearchQuery, StyleId, TaskId, Tendax, TaskSpec,
-};
+use tendax_core::{Assignee, FolderRule, Platform, SearchQuery, StyleId, TaskId, TaskSpec, Tendax};
 
 struct Shell {
     tx: Tendax,
@@ -292,12 +290,21 @@ impl Shell {
     }
 
     fn active_user(&self) -> Result<tendax_core::UserId, String> {
-        let name = self.active.as_ref().ok_or("no active user (use: user <name>)")?;
-        self.tx.textdb().user_by_name(name).map_err(|e| e.to_string())
+        let name = self
+            .active
+            .as_ref()
+            .ok_or("no active user (use: user <name>)")?;
+        self.tx
+            .textdb()
+            .user_by_name(name)
+            .map_err(|e| e.to_string())
     }
 
     fn active_session(&self) -> Result<&tendax_core::EditorSession, String> {
-        let name = self.active.as_ref().ok_or("no active user (use: user <name>)")?;
+        let name = self
+            .active
+            .as_ref()
+            .ok_or("no active user (use: user <name>)")?;
         self.sessions.get(name).ok_or_else(|| "no session".into())
     }
 

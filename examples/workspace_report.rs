@@ -36,9 +36,7 @@ fn main() -> tendax_core::Result<()> {
     print!("{}", report.render());
 
     // --- Activity timeline of the busiest document ------------------------
-    let busiest = tx
-        .textdb()
-        .document_by_name(&report.documents[0].name)?;
+    let busiest = tx.textdb().document_by_name(&report.documents[0].name)?;
     let timeline = activity_timeline(tx.textdb(), busiest, 8)?;
     println!(
         "\nactivity timeline of '{}': {timeline:?}",
@@ -54,9 +52,6 @@ fn main() -> tendax_core::Result<()> {
     }
 
     // --- Editor-level stats -----------------------------------------------
-    println!(
-        "\nalice's editor stats on 'spec': {:?}",
-        spec.stats()
-    );
+    println!("\nalice's editor stats on 'spec': {:?}", spec.stats());
     Ok(())
 }

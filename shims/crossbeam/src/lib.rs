@@ -46,10 +46,7 @@ pub mod channel {
             self.inner.recv()
         }
 
-        pub fn recv_timeout(
-            &self,
-            timeout: std::time::Duration,
-        ) -> Result<T, RecvTimeoutError> {
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
             self.inner.recv_timeout(timeout)
         }
     }

@@ -98,7 +98,13 @@ pub trait Strategy {
     /// sub-value and returns the composite strategy. `depth` bounds the
     /// recursion depth; the remaining size hints are accepted for API
     /// compatibility but unused.
-    fn prop_recursive<R, F>(self, depth: u32, _desired_size: u32, _branch_size: u32, branch: F) -> Recursive<Self::Value>
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch_size: u32,
+        branch: F,
+    ) -> Recursive<Self::Value>
     where
         Self: Sized + 'static,
         R: Strategy<Value = Self::Value> + 'static,
@@ -465,7 +471,10 @@ fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
             }
         }
         Atom::Class(set) => {
-            let total: u64 = set.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+            let total: u64 = set
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
             let mut pick = rng.below(total);
             for (lo, hi) in set {
                 let span = (*hi as u64) - (*lo as u64) + 1;
@@ -790,14 +799,14 @@ macro_rules! prop_oneof {
 }
 
 pub mod prelude {
-    pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
-        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
-    };
     /// The real crate exposes itself through its prelude as `proptest`;
     /// mirror that so `proptest::collection::vec(...)` resolves inside
     /// `use proptest::prelude::*;` files even without an extern line.
     pub use crate as proptest;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
 }
 
 #[cfg(test)]
@@ -847,9 +856,11 @@ mod tests {
                 Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let s = any::<u8>().prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
-            crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
-        });
+        let s = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::seed_from_u64(4);
         for _ in 0..100 {
             assert!(depth(&s.generate(&mut rng)) <= 3);
@@ -876,7 +887,9 @@ mod tests {
             assert!((2..5).contains(&v.len()));
         }
         let os = crate::option::of(Just(7u8));
-        let somes = (0..1000).filter(|_| os.generate(&mut rng).is_some()).count();
+        let somes = (0..1000)
+            .filter(|_| os.generate(&mut rng).is_some())
+            .count();
         assert!((650..850).contains(&somes));
     }
 }

@@ -4,8 +4,8 @@
 //! (`tests/`) and runnable examples (`examples/`) that span all TeNDaX
 //! crates. The real public API lives in [`tendax_core`].
 
-pub use tendax_core as core;
 pub use tendax_collab as collab;
+pub use tendax_core as core;
 pub use tendax_meta as meta;
 pub use tendax_process as process;
 pub use tendax_storage as storage;

@@ -16,7 +16,8 @@ fn typing_session_with_cursor_awareness_and_rendering() {
     let mut db = sb.open("letter").unwrap();
 
     // Alice types a heading and body; applies structure and style.
-    da.type_text(0, "Dear team\nAll good things below.").unwrap();
+    da.type_text(0, "Dear team\nAll good things below.")
+        .unwrap();
     let (sid, _) = da
         .with_handle("structure", |h| {
             let id = h.set_structure(0, 9, "heading1")?;
@@ -101,8 +102,7 @@ fn cross_document_move_through_editors_updates_lineage() {
         .any(|n| n.label() == "final"));
     // And the moved text's provenance chain points home.
     let id = final_doc.handle().char_at(0).unwrap();
-    let hops =
-        tendax_core::char_provenance(tx.textdb(), final_doc.doc(), id).unwrap();
+    let hops = tendax_core::char_provenance(tx.textdb(), final_doc.doc(), id).unwrap();
     assert_eq!(hops.last().unwrap().doc_name, "scratch");
 }
 
@@ -123,7 +123,9 @@ fn purge_then_continue_collaborating() {
 
     // Admin purges old tombstones mid-session.
     let doc = da.doc();
-    tx.textdb().purge_tombstones(doc, tx.textdb().now()).unwrap();
+    tx.textdb()
+        .purge_tombstones(doc, tx.textdb().now())
+        .unwrap();
 
     // Both editors keep working (their sessions retry through staleness).
     da.type_text(0, "A").unwrap();

@@ -42,7 +42,8 @@ fn word_processing_lan_party_end_to_end() {
 
     da.type_text(0, "TeNDaX stores text natively. ").unwrap();
     db.sync();
-    db.type_text(db.len(), "Editing is transactional. ").unwrap();
+    db.type_text(db.len(), "Editing is transactional. ")
+        .unwrap();
     dc.sync();
     dc.type_text(dc.len(), "Metadata comes for free.").unwrap();
     da.sync();
@@ -74,7 +75,13 @@ fn word_processing_lan_party_end_to_end() {
 
     // --- Access rights ------------------------------------------------------
     tx.textdb()
-        .set_access(paper, alice, Principal::Role(reviewers), Permission::Write, true)
+        .set_access(
+            paper,
+            alice,
+            Principal::Role(reviewers),
+            Permission::Write,
+            true,
+        )
         .unwrap();
     // Carol is not a reviewer: write denied.
     assert!(dc.type_text(0, "x").is_err());
@@ -85,16 +92,30 @@ fn word_processing_lan_party_end_to_end() {
     // --- Workflow -------------------------------------------------------------
     let engine = tx.process();
     let review = engine
-        .define_task(paper, alice, TaskSpec::new("review", Assignee::Role(reviewers)))
+        .define_task(
+            paper,
+            alice,
+            TaskSpec::new("review", Assignee::Role(reviewers)),
+        )
         .unwrap();
     assert_eq!(engine.inbox(bob).unwrap().len(), 1);
     engine.complete(review, bob, "looks good").unwrap();
-    assert_eq!(engine.tasks_in_state(paper, TaskState::Done).unwrap().len(), 1);
+    assert_eq!(
+        engine.tasks_in_state(paper, TaskState::Done).unwrap().len(),
+        1
+    );
 
     // --- Dynamic folder: docs bob read recently --------------------------------
     let f = tx
         .folders()
-        .create_folder("bob-recent", bob, FolderRule::ReadBy { user: bob.0, since: 0 })
+        .create_folder(
+            "bob-recent",
+            bob,
+            FolderRule::ReadBy {
+                user: bob.0,
+                since: 0,
+            },
+        )
         .unwrap();
     let contents = tx.folders().evaluate(f).unwrap();
     assert!(contents.contains(&paper));
@@ -105,10 +126,7 @@ fn word_processing_lan_party_end_to_end() {
     let mut dn = sb.open("notes").unwrap();
     dn.paste(0, &clip).unwrap();
     let g = tx.lineage().unwrap();
-    assert!(g
-        .descendants(paper)
-        .iter()
-        .any(|n| n.label() == "notes"));
+    assert!(g.descendants(paper).iter().any(|n| n.label() == "notes"));
 
     // --- Search: content + ranking ----------------------------------------------
     let search = tx.search().unwrap();

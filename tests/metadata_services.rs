@@ -2,8 +2,8 @@
 //! workflow engine and the editing stack through the public facade.
 
 use tendax_core::{
-    activity_timeline, collaboration_graph, Assignee, FolderRule, Permission, Platform,
-    Principal, SearchQuery, Tendax, TaskSpec,
+    activity_timeline, collaboration_graph, Assignee, FolderRule, Permission, Platform, Principal,
+    SearchQuery, TaskSpec, Tendax,
 };
 
 #[test]
@@ -41,7 +41,11 @@ fn templates_through_the_facade() {
             "meeting-minutes",
             alice,
             "Minutes\n\nAttendees:\n\nDecisions:",
-            &[("heading1", 0, 7), ("heading2", 9, 10), ("heading2", 21, 10)],
+            &[
+                ("heading1", 0, 7),
+                ("heading2", 9, 10),
+                ("heading2", 21, 10),
+            ],
         )
         .unwrap();
     let doc = tx
