@@ -15,6 +15,7 @@ use crate::row::RowId;
 use crate::schema::{Catalog, TableDef, TableId};
 use crate::table::{TableStore, Ts, VersionOp};
 use crate::txn::{validate_writes, Transaction, TxnId, WriteOp};
+use crate::vfs::{os_vfs, Vfs};
 use crate::wal::{DurabilityLevel, GroupWal, WalFile, WalOp, WalRecord, WalTicket, WalWrite};
 
 /// Database configuration.
@@ -30,6 +31,11 @@ pub struct Options {
     /// checkpoint). `None` (the default) spawns nothing and leaves the
     /// engine's behaviour exactly as without the subsystem.
     pub maintenance: Option<MaintenanceOptions>,
+    /// The file-system backend every durability-relevant operation goes
+    /// through. The default, [`os_vfs`], is `std::fs` with behaviour
+    /// byte-identical to the pre-VFS engine; tests substitute
+    /// [`crate::vfs::SimVfs`] to simulate crashes and injected faults.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl Default for Options {
@@ -39,6 +45,7 @@ impl Default for Options {
             clock: ClockMode::Logical,
             group_commit: true,
             maintenance: None,
+            vfs: os_vfs(),
         }
     }
 }
@@ -199,12 +206,12 @@ impl Database {
     pub fn open(path: impl AsRef<Path>, options: Options) -> Result<Database> {
         let path = path.as_ref().to_path_buf();
         let db = Self::empty(Some(path.clone()), options.clock);
-        let (records, valid_len) = WalFile::replay_with_valid_len(&path)?;
+        let (records, valid_len) = WalFile::replay_with_valid_len_on(&*options.vfs, &path)?;
         db.apply_log(records)?;
         // Repair a torn tail before appending: anything past the last
         // valid frame is a crashed partial write.
-        WalFile::truncate(&path, valid_len)?;
-        let wal = WalFile::open(&path, options.durability)?;
+        WalFile::truncate_on(&*options.vfs, &path, valid_len)?;
+        let wal = WalFile::open_on(options.vfs.clone(), &path, options.durability)?;
         // The WAL's drain cursor starts at the recovered watermark so
         // the first post-restart commit (watermark + 1) drains first.
         db.inner

@@ -56,6 +56,7 @@ pub mod table;
 pub mod txn;
 pub mod util;
 pub mod value;
+pub mod vfs;
 pub mod wal;
 
 pub use aggregate::Aggregate;
@@ -69,4 +70,5 @@ pub use schema::{ColumnDef, IndexDef, TableDef, TableId};
 pub use table::{Ts, TS_LATEST};
 pub use txn::{Transaction, TxnId};
 pub use value::{DataType, Value};
+pub use vfs::{os_vfs, OsVfs, SimVfs, Vfs, VfsFile};
 pub use wal::{DurabilityLevel, WalStats};

@@ -1,0 +1,245 @@
+//! Virtual file system: the narrow waist between the storage engine and
+//! the disk.
+//!
+//! Everything durability-relevant the engine does — appending WAL
+//! frames, flushing, fsyncing, the checkpoint's tmp-write/rename/dir-
+//! sync dance, crash-tail truncation — goes through the [`Vfs`] trait
+//! carried in [`crate::Options`]. Two backends exist:
+//!
+//! * [`OsVfs`] (the default): thin forwarding to `std::fs`, byte-for-
+//!   byte identical to the engine's pre-VFS behaviour.
+//! * [`sim::SimVfs`]: a deterministic in-memory disk that distinguishes
+//!   volatile (buffered) from durable (synced) bytes, models directory-
+//!   entry durability separately from file-data durability, and injects
+//!   faults from a seeded RNG — the substrate for the crash-simulation
+//!   suite (`tests/sim_crash.rs`).
+//!
+//! The trait deliberately exposes *durability points*, not a POSIX
+//! surface: `flush` pushes application buffers to the OS, `sync_data` /
+//! `sync_all` push OS buffers to the platter, and `sync_dir` makes
+//! renames/creations/truncations of directory entries themselves
+//! durable. A simulated crash erases exactly what those calls have not
+//! yet pinned down.
+
+pub mod sim;
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::error::Result;
+
+pub use sim::SimVfs;
+
+/// A writable file handle obtained from a [`Vfs`].
+///
+/// Reads happen through [`Vfs::read`] (the engine only ever reads whole
+/// logs during replay); handles are append/write-side only.
+pub trait VfsFile: Send + std::fmt::Debug {
+    /// Append `buf` in full to the application-level buffer.
+    fn write_all(&mut self, buf: &[u8]) -> Result<()>;
+
+    /// Push application buffers down to the OS (survives process crash,
+    /// not power loss).
+    fn flush(&mut self) -> Result<()>;
+
+    /// `fdatasync`: make the file's *data* durable. Callers flush first.
+    fn sync_data(&mut self) -> Result<()>;
+
+    /// `fsync`: data plus metadata (size). Required after `set_len`-like
+    /// operations where the length change itself must persist.
+    fn sync_all(&mut self) -> Result<()>;
+}
+
+/// The file-system surface the storage engine runs against.
+///
+/// Implementations must be thread-safe: the WAL writes from flush
+/// leaders, checkpoints, and the maintenance thread concurrently.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Open `path` for appending, creating it if missing.
+    fn open_append(&self, path: &Path) -> Result<Box<dyn VfsFile>>;
+
+    /// Create `path` (truncating any existing contents) for writing —
+    /// the checkpoint tmp-file path.
+    fn create(&self, path: &Path) -> Result<Box<dyn VfsFile>>;
+
+    /// Read the entire file. Missing files are the caller's concern:
+    /// check [`Vfs::exists`] first (replay treats absent as empty).
+    fn read(&self, path: &Path) -> Result<Vec<u8>>;
+
+    /// Whether a directory entry for `path` currently exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Atomically rename `from` over `to`. Durable only after
+    /// [`Vfs::sync_dir`] on the parent.
+    fn rename(&self, from: &Path, to: &Path) -> Result<()>;
+
+    /// Shrink the file to `len` bytes and make the new length durable
+    /// (`fsync`, not `fdatasync`: the shrink is a metadata change).
+    /// A no-op if the file does not exist.
+    fn truncate(&self, path: &Path, len: u64) -> Result<()>;
+
+    /// Fsync the directory containing `path`, making renames,
+    /// creations, and truncations of entries within it durable.
+    fn sync_dir(&self, path: &Path) -> Result<()>;
+}
+
+/// The default backend: `std::fs`, exactly as the engine used it before
+/// the VFS seam existed (buffered writer, `sync_data` for data-only
+/// flushes, `sync_all` + parent-dir fsync for structural changes).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsVfs;
+
+/// The shared default instance (`Options::default()` clones this Arc
+/// rather than allocating per database).
+pub fn os_vfs() -> Arc<dyn Vfs> {
+    static OS: std::sync::OnceLock<Arc<dyn Vfs>> = std::sync::OnceLock::new();
+    OS.get_or_init(|| Arc::new(OsVfs)).clone()
+}
+
+#[derive(Debug)]
+struct OsFile {
+    writer: BufWriter<File>,
+}
+
+impl VfsFile for OsFile {
+    fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        self.writer.write_all(buf)?;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> Result<()> {
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    fn sync_all(&mut self) -> Result<()> {
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+}
+
+impl Vfs for OsVfs {
+    fn open_append(&self, path: &Path) -> Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(OsFile {
+            writer: BufWriter::new(file),
+        }))
+    }
+
+    fn create(&self, path: &Path) -> Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(OsFile {
+            writer: BufWriter::new(file),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>> {
+        Ok(std::fs::read(path)?)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        std::fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<()> {
+        if !path.exists() {
+            return Ok(());
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        // `sync_all`, not `sync_data`: the repair is a pure metadata
+        // (size) change, and fdatasync is allowed to skip metadata when
+        // no data blocks were written. If the shrink is lost, the torn
+        // tail resurfaces underneath fresh appends and replays as
+        // mid-log corruption.
+        file.sync_all()?;
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> Result<()> {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        File::open(parent)?.sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tendax-vfs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn os_vfs_roundtrip() {
+        let vfs = OsVfs;
+        let path = tmp("roundtrip.bin");
+        let mut f = vfs.open_append(&path).unwrap();
+        f.write_all(b"hello ").unwrap();
+        f.write_all(b"world").unwrap();
+        f.flush().unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert!(vfs.exists(&path));
+        assert_eq!(vfs.read(&path).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn os_vfs_rename_and_truncate() {
+        let vfs = OsVfs;
+        let a = tmp("rename-a.bin");
+        let b = tmp("rename-b.bin");
+        let mut f = vfs.create(&a).unwrap();
+        f.write_all(b"0123456789").unwrap();
+        f.flush().unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        vfs.rename(&a, &b).unwrap();
+        vfs.sync_dir(&b).unwrap();
+        assert!(!vfs.exists(&a));
+        vfs.truncate(&b, 4).unwrap();
+        assert_eq!(vfs.read(&b).unwrap(), b"0123");
+        // Truncating a missing path is a no-op, not an error.
+        vfs.truncate(&a, 0).unwrap();
+    }
+
+    #[test]
+    fn create_truncates_existing_contents() {
+        let vfs = OsVfs;
+        let path = tmp("create.bin");
+        std::fs::write(&path, b"old").unwrap();
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"n").unwrap();
+        f.flush().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"n");
+    }
+}

@@ -5,13 +5,17 @@
 //! truncated or fails its CRC — that is the torn tail of a crashed append,
 //! and everything before it is intact by construction (frames are written
 //! with a single `write_all`).
+//!
+//! All file access goes through the [`Vfs`] seam so the same code path
+//! runs against the real disk ([`crate::vfs::OsVfs`], the default) and
+//! the crash simulator ([`crate::vfs::SimVfs`]).
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::{Result, StorageError};
 use crate::util::crc32;
+use crate::vfs::{os_vfs, Vfs, VfsFile};
 use crate::wal::codec::{decode_record, encode_record};
 use crate::wal::{DurabilityLevel, WalRecord};
 
@@ -19,20 +23,42 @@ use crate::wal::{DurabilityLevel, WalRecord};
 #[derive(Debug)]
 pub struct WalFile {
     path: PathBuf,
-    writer: BufWriter<File>,
+    vfs: Arc<dyn Vfs>,
+    writer: Box<dyn VfsFile>,
     durability: DurabilityLevel,
     records_written: u64,
     bytes_written: u64,
 }
 
 impl WalFile {
-    /// Open (creating if needed) the log at `path` for appending.
+    /// Open (creating if needed) the log at `path` for appending, on the
+    /// real file system.
     pub fn open(path: impl Into<PathBuf>, durability: DurabilityLevel) -> Result<Self> {
+        Self::open_on(os_vfs(), path, durability)
+    }
+
+    /// Open (creating if needed) the log at `path` for appending, on an
+    /// explicit [`Vfs`] backend.
+    pub fn open_on(
+        vfs: Arc<dyn Vfs>,
+        path: impl Into<PathBuf>,
+        durability: DurabilityLevel,
+    ) -> Result<Self> {
         let path = path.into();
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let created = !vfs.exists(&path);
+        let writer = vfs.open_append(&path)?;
+        if created {
+            // A freshly created file's directory entry is not durable
+            // until the directory itself is fsynced: without this, a
+            // crash could erase the whole log even after `Fsync`-level
+            // commits were acknowledged (the data blocks persist but
+            // nothing references them).
+            vfs.sync_dir(&path)?;
+        }
         Ok(WalFile {
             path,
-            writer: BufWriter::new(file),
+            vfs,
+            writer,
             durability,
             records_written: 0,
             bytes_written: 0,
@@ -67,7 +93,7 @@ impl WalFile {
             DurabilityLevel::Buffered => self.writer.flush()?,
             DurabilityLevel::Fsync => {
                 self.writer.flush()?;
-                self.writer.get_ref().sync_data()?;
+                self.writer.sync_data()?;
             }
         }
         self.records_written += 1;
@@ -93,7 +119,7 @@ impl WalFile {
             DurabilityLevel::Buffered => self.writer.flush()?,
             DurabilityLevel::Fsync => {
                 self.writer.flush()?;
-                self.writer.get_ref().sync_data()?;
+                self.writer.sync_data()?;
             }
         }
         self.records_written += records;
@@ -105,7 +131,7 @@ impl WalFile {
     /// after checkpoints).
     pub fn sync(&mut self) -> Result<()> {
         self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.writer.sync_data()?;
         Ok(())
     }
 
@@ -115,51 +141,52 @@ impl WalFile {
     /// log — the checkpoint either fully lands or the old log survives.
     pub fn rewrite(&mut self, records: &[WalRecord]) -> Result<()> {
         let tmp = self.path.with_extension("wal.tmp");
-        let mut bytes = 0u64;
-        {
-            let file = OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&tmp)?;
-            let mut w = BufWriter::new(file);
-            for rec in records {
-                let payload = encode_record(rec);
-                w.write_all(&(payload.len() as u32).to_le_bytes())?;
-                w.write_all(&crc32(&payload).to_le_bytes())?;
-                w.write_all(&payload)?;
-                bytes += 8 + payload.len() as u64;
-            }
-            w.flush()?;
-            w.get_ref().sync_data()?;
+        let mut buf = Vec::new();
+        for rec in records {
+            let payload = encode_record(rec);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+            buf.extend_from_slice(&payload);
         }
-        std::fs::rename(&tmp, &self.path)?;
+        let bytes = buf.len() as u64;
+        {
+            let mut w = self.vfs.create(&tmp)?;
+            w.write_all(&buf)?;
+            w.flush()?;
+            w.sync_data()?;
+        }
+        self.vfs.rename(&tmp, &self.path)?;
         // The rename is only durable once the directory entry itself is
         // on disk: without this fsync a crash can resurrect the old log
         // (or worse, leave a dangling entry) even though the data file
         // was synced.
-        sync_parent_dir(&self.path)?;
-        let file = OpenOptions::new().append(true).open(&self.path)?;
-        self.writer = BufWriter::new(file);
+        self.vfs.sync_dir(&self.path)?;
+        self.writer = self.vfs.open_append(&self.path)?;
         self.records_written = records.len() as u64;
         self.bytes_written = bytes;
         Ok(())
     }
 
-    /// Read every intact record currently in the log at `path`.
+    /// Read every intact record currently in the log at `path`, on the
+    /// real file system.
     pub fn replay(path: &Path) -> Result<Vec<WalRecord>> {
         Ok(Self::replay_with_valid_len(path)?.0)
+    }
+
+    /// [`WalFile::replay_with_valid_len`] on the real file system.
+    pub fn replay_with_valid_len(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
+        Self::replay_with_valid_len_on(&*os_vfs(), path)
     }
 
     /// Read every intact record and report the byte offset of the end of
     /// the last valid frame. Callers reopening the log for append MUST
     /// truncate to that offset first, or a torn tail would be buried
     /// under fresh records and read as mid-log corruption later.
-    pub fn replay_with_valid_len(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
-        if !path.exists() {
+    pub fn replay_with_valid_len_on(vfs: &dyn Vfs, path: &Path) -> Result<(Vec<WalRecord>, u64)> {
+        if !vfs.exists(path) {
             return Ok((Vec::new(), 0));
         }
-        let data = std::fs::read(path)?;
+        let data = vfs.read(path)?;
         let mut iter = WalIter::new(&data);
         let mut records = Vec::new();
         let mut valid = 0u64;
@@ -170,20 +197,22 @@ impl WalFile {
         Ok((records, valid))
     }
 
-    /// Truncate the log file at `path` to `len` bytes (crash-tail repair).
+    /// Truncate the log file at `path` to `len` bytes (crash-tail
+    /// repair), on the real file system.
     pub fn truncate(path: &Path, len: u64) -> Result<()> {
-        if !path.exists() {
+        Self::truncate_on(&*os_vfs(), path, len)
+    }
+
+    /// Truncate the log file at `path` to `len` bytes (crash-tail
+    /// repair). The backend makes the shrink itself durable (`fsync`,
+    /// not `fdatasync`: it is a metadata change); the parent-dir sync
+    /// covers file systems where the length lives in the dirent.
+    pub fn truncate_on(vfs: &dyn Vfs, path: &Path, len: u64) -> Result<()> {
+        if !vfs.exists(path) {
             return Ok(());
         }
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(len)?;
-        // `sync_all`, not `sync_data`: the repair is a pure metadata
-        // (size) change, and fdatasync is allowed to skip metadata when
-        // no data blocks were written. If the shrink is lost, the torn
-        // tail resurfaces underneath fresh appends and replays as
-        // mid-log corruption.
-        file.sync_all()?;
-        sync_parent_dir(path)?;
+        vfs.truncate(path, len)?;
+        vfs.sync_dir(path)?;
         Ok(())
     }
 }
@@ -197,17 +226,6 @@ pub(crate) fn encode_frame(rec: &WalRecord) -> Vec<u8> {
     frame.extend_from_slice(&crc32(&payload).to_le_bytes());
     frame.extend_from_slice(&payload);
     frame
-}
-
-/// Fsync the directory containing `path`, making renames/truncations of
-/// entries within it durable.
-fn sync_parent_dir(path: &Path) -> Result<()> {
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
-        _ => PathBuf::from("."),
-    };
-    File::open(parent)?.sync_all()?;
-    Ok(())
 }
 
 /// Iterator over framed records in a byte buffer.
@@ -245,10 +263,18 @@ impl<'a> Iterator for WalIter<'a> {
         let payload = &rest[8..8 + len];
         let frame_end = self.offset + 8 + len;
         if crc32(payload) != crc {
-            let at_tail = frame_end == self.data.len();
+            let trailing = self.data.len() - frame_end;
             self.offset = self.data.len();
-            if at_tail {
-                return None; // torn final frame: garbage length happened to fit
+            // A bad frame at the tail — or followed by fewer bytes than
+            // a frame header — is a torn write: a power cut can tear the
+            // final sector across the boundary of the last complete
+            // frame, garbling its checksum while scraps of the next
+            // frame sit after it. Scraps that small can never hold a
+            // real frame, so nothing durable is being discarded. A bad
+            // frame with room for real frames after it, by contrast, is
+            // mid-log corruption and must surface as an error.
+            if trailing < 8 {
+                return None;
             }
             return Some(Err(StorageError::WalCorrupt {
                 offset: self.offset as u64,
@@ -323,6 +349,30 @@ mod tests {
         // Truncate mid-way through the second frame.
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let recs = WalFile::replay(&path).unwrap();
+        assert_eq!(recs, vec![meta(1)]);
+    }
+
+    #[test]
+    fn tear_straddling_last_frame_boundary_is_a_torn_tail() {
+        let path = tmpdir().join("straddle.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = WalFile::open(&path, DurabilityLevel::Buffered).unwrap();
+        wal.append(&meta(1)).unwrap();
+        wal.append(&meta(2)).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        // A torn final sector can straddle the last frame boundary:
+        // the tail of the last complete frame is garbled AND a few
+        // scrap bytes of a never-completed next frame follow it. The
+        // scraps are too short to be a frame, so this must replay as a
+        // torn tail ending at the last good frame — not error out.
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        data.extend_from_slice(&[0xFF; 5]);
+        std::fs::write(&path, &data).unwrap();
         let recs = WalFile::replay(&path).unwrap();
         assert_eq!(recs, vec![meta(1)]);
     }

@@ -28,16 +28,13 @@ use tendax_storage::{
     StorageError, TableDef, TableId, Ts, Value,
 };
 
-fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "tendax-pipeline-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    std::fs::create_dir_all(&dir).unwrap();
-    let p = dir.join(name);
-    let _ = std::fs::remove_file(&p);
-    p
+mod common;
+use common::TestDir;
+
+fn tmp(name: &str) -> (TestDir, PathBuf) {
+    let dir = TestDir::new("tendax-pipeline");
+    let p = dir.file(name);
+    (dir, p)
 }
 
 fn seq_table(name: &str) -> TableDef {
@@ -330,7 +327,7 @@ fn ddl_race(group_commit: bool, path_name: &str) {
     const COMMITS: i64 = 60;
     const DDL_CYCLES: usize = 15;
 
-    let path = tmp(path_name);
+    let (_dir, path) = tmp(path_name);
     let opts = Options {
         group_commit,
         ..Options::default()
@@ -422,7 +419,7 @@ fn ddl_races_parallel_committers_nongroup_wal() {
 /// the log.
 #[test]
 fn drop_table_racing_nongroup_committers_keeps_log_replayable() {
-    let path = tmp("drop-race-nongroup.wal");
+    let (_dir, path) = tmp("drop-race-nongroup.wal");
     let opts = Options {
         group_commit: false,
         ..Options::default()
@@ -477,7 +474,7 @@ fn wal_replays_as_commit_order_prefix_at_every_cut() {
         const WRITERS: usize = 4;
         const COMMITS: i64 = 25;
 
-        let path = tmp(&format!("prefix-{durability:?}.wal"));
+        let (_dir, path) = tmp(&format!("prefix-{durability:?}.wal"));
         let log: Arc<Mutex<Vec<(Ts, usize, i64)>>> = Arc::default();
         {
             let opts = Options {
@@ -520,7 +517,7 @@ fn wal_replays_as_commit_order_prefix_at_every_cut() {
         let mut cuts: Vec<usize> = (0..full.len()).step_by(step).collect();
         cuts.push(full.len());
         for (n, cut) in cuts.into_iter().enumerate() {
-            let cut_path = tmp(&format!("prefix-{durability:?}-cut{n}.wal"));
+            let (_cut_dir, cut_path) = tmp(&format!("prefix-{durability:?}-cut{n}.wal"));
             std::fs::write(&cut_path, &full[..cut]).unwrap();
 
             let db = Database::open(&cut_path, Options::default()).unwrap();
@@ -564,7 +561,7 @@ fn checkpoints_and_auto_maintenance_under_parallel_writers() {
     const WRITERS: usize = 4;
     const UPDATES: i64 = 150;
 
-    let path = tmp("maint-pipeline.wal");
+    let (_dir, path) = tmp("maint-pipeline.wal");
     let opts = Options {
         maintenance: Some(MaintenanceOptions {
             interval: Duration::from_millis(1),

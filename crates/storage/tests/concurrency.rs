@@ -17,17 +17,18 @@ fn counter_table() -> TableDef {
         .index("by_writer", &["writer"])
 }
 
-fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("tendax-conc-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let p = dir.join(name);
-    let _ = std::fs::remove_file(&p);
-    p
+mod common;
+use common::TestDir;
+
+fn tmp(name: &str) -> (TestDir, PathBuf) {
+    let dir = TestDir::new("tendax-conc");
+    let p = dir.file(name);
+    (dir, p)
 }
 
 #[test]
 fn writers_race_checkpoints_without_loss() {
-    let path = tmp("writers-checkpoint.wal");
+    let (_dir, path) = tmp("writers-checkpoint.wal");
     let db = Database::open(&path, Options::default()).unwrap();
     let t = db.create_table(counter_table()).unwrap();
 

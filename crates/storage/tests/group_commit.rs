@@ -8,16 +8,13 @@ use tendax_storage::{
     DataType, Database, DurabilityLevel, Options, Predicate, Row, RowId, TableDef, Value,
 };
 
-fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "tendax-group-it-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    std::fs::create_dir_all(&dir).unwrap();
-    let p = dir.join(name);
-    let _ = std::fs::remove_file(&p);
-    p
+mod common;
+use common::TestDir;
+
+fn tmp(name: &str) -> (TestDir, PathBuf) {
+    let dir = TestDir::new("tendax-group-it");
+    let p = dir.file(name);
+    (dir, p)
 }
 
 fn opts(durability: DurabilityLevel) -> Options {
@@ -54,7 +51,7 @@ fn count_rows(db: &Database) -> usize {
 /// reopen that appends after the torn bytes would turn the tail into
 /// mid-log corruption and fail the final replay.
 fn torn_tail_roundtrip(durability: DurabilityLevel, name: &str) {
-    let path = tmp(name);
+    let (_dir, path) = tmp(name);
     {
         let db = Database::open(&path, opts(durability)).unwrap();
         let t = db.create_table(seq_table()).unwrap();
@@ -122,7 +119,7 @@ fn stress_level(durability: DurabilityLevel, name: &str) {
     const THREADS: u64 = 4;
     const ROUNDS: i64 = 25;
 
-    let path = tmp(name);
+    let (_dir, path) = tmp(name);
     let db = Database::open(&path, opts(durability)).unwrap();
     let t = db.create_table(seq_table()).unwrap();
     let shared: Vec<RowId> = {
@@ -271,7 +268,7 @@ fn group_commit_batches_under_concurrency() {
     const THREADS: u64 = 4;
     const OPS: i64 = 40;
 
-    let path = tmp("batching.wal");
+    let (_dir, path) = tmp("batching.wal");
     let db = Database::open(&path, opts(DurabilityLevel::Fsync)).unwrap();
     let t = db.create_table(seq_table()).unwrap();
 
@@ -305,7 +302,7 @@ fn group_commit_batches_under_concurrency() {
 /// per record, nothing saved.
 #[test]
 fn baseline_mode_never_batches() {
-    let path = tmp("baseline-mode.wal");
+    let (_dir, path) = tmp("baseline-mode.wal");
     let db = Database::open(
         &path,
         Options {

@@ -18,16 +18,13 @@ use tendax_storage::{
     DataType, Database, MaintenanceOptions, Options, Predicate, Row, TableDef, Value,
 };
 
-fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "tendax-maint-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    std::fs::create_dir_all(&dir).unwrap();
-    let p = dir.join(name);
-    let _ = std::fs::remove_file(&p);
-    p
+mod common;
+use common::TestDir;
+
+fn tmp(name: &str) -> (TestDir, PathBuf) {
+    let dir = TestDir::new("tendax-maint");
+    let p = dir.file(name);
+    (dir, p)
 }
 
 fn table_def() -> TableDef {
@@ -57,7 +54,7 @@ fn seqs(db: &Database, t: tendax_storage::TableId) -> Vec<i64> {
 /// the temp file and yield exactly the pre-checkpoint state.
 #[test]
 fn crash_before_rename_recovers_pre_checkpoint_state() {
-    let path = tmp("pre-rename.wal");
+    let (_dir, path) = tmp("pre-rename.wal");
     let n = 10i64;
     {
         let db = Database::open(&path, Options::default()).unwrap();
@@ -102,7 +99,7 @@ fn crash_before_rename_recovers_pre_checkpoint_state() {
 /// commits — never less than the checkpoint, never a corrupt hybrid.
 #[test]
 fn torn_splice_after_rename_recovers_checkpoint_plus_prefix() {
-    let path = tmp("torn-splice.wal");
+    let (_dir, path) = tmp("torn-splice.wal");
     let n = 8i64;
     let extra = 5i64;
     {
@@ -124,7 +121,7 @@ fn torn_splice_after_rename_recovers_checkpoint_plus_prefix() {
         // including both boundaries.
         for step in 0..=4usize {
             let cut = snapshot_len + tail * step / 4;
-            let cut_path = tmp(&format!("torn-splice-cut{step}.wal"));
+            let (_cut_dir, cut_path) = tmp(&format!("torn-splice-cut{step}.wal"));
             std::fs::write(&cut_path, &full[..cut]).unwrap();
 
             let db = Database::open(&cut_path, Options::default()).unwrap();
@@ -148,7 +145,7 @@ fn torn_splice_after_rename_recovers_checkpoint_plus_prefix() {
 /// acknowledged commit must be present live and after a reopen.
 #[test]
 fn concurrent_commits_survive_repeated_checkpoints() {
-    let path = tmp("concurrent-ckpt.wal");
+    let (_dir, path) = tmp("concurrent-ckpt.wal");
     let writers = 4i64;
     let per_writer = 50i64;
     {
@@ -272,7 +269,7 @@ fn auto_maintenance_bounds_wal_and_preserves_data() {
     let updates = 2_500i64;
 
     // Twin run without maintenance: how big the log grows unattended.
-    let bare_path = tmp("auto-maint-bare.wal");
+    let (_bare_dir, bare_path) = tmp("auto-maint-bare.wal");
     {
         let db = Database::open(&bare_path, Options::default()).unwrap();
         let t = db.create_table(table_def()).unwrap();
@@ -290,7 +287,7 @@ fn auto_maintenance_bounds_wal_and_preserves_data() {
     }
     let bare_len = std::fs::metadata(&bare_path).unwrap().len();
 
-    let path = tmp("auto-maint.wal");
+    let (_dir, path) = tmp("auto-maint.wal");
     let opts = Options {
         maintenance: Some(MaintenanceOptions {
             interval: Duration::from_millis(1),

@@ -22,12 +22,13 @@ fn doc_table() -> TableDef {
         .index("by_doc", &["doc"])
 }
 
-fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("tendax-readpath-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let p = dir.join(name);
-    let _ = std::fs::remove_file(&p);
-    p
+mod common;
+use common::TestDir;
+
+fn tmp(name: &str) -> (TestDir, PathBuf) {
+    let dir = TestDir::new("tendax-readpath");
+    let p = dir.file(name);
+    (dir, p)
 }
 
 fn seed(db: &Database, docs: u64, per_doc: i64) -> tendax_storage::TableId {
@@ -160,14 +161,15 @@ fn point_get_and_index_counters_tick() {
 /// of every writer's stream: per writer, exactly the values `0..n` for
 /// some n, never a gap. Runs at every durability level.
 fn readers_see_consistent_prefixes(durability: DurabilityLevel, name: &str) {
-    let db = match durability {
-        DurabilityLevel::None => Database::open_in_memory(),
+    let (db, _dir) = match durability {
+        DurabilityLevel::None => (Database::open_in_memory(), None),
         level => {
             let opts = Options {
                 durability: level,
                 ..Options::default()
             };
-            Database::open(tmp(name), opts).unwrap()
+            let (dir, path) = tmp(name);
+            (Database::open(path, opts).unwrap(), Some(dir))
         }
     };
     let t = db.create_table(doc_table()).unwrap();

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench result against the recorded baseline series.
+
+Usage:
+    scripts/bench_compare.py NEW.json [BASELINE.json]
+
+NEW.json is a bench output file in the repo's JSONL convention (one
+flat JSON object per line, newest last); the newest line is compared.
+BASELINE.json defaults to the file of the same name under
+bench_results/ — its newest line is the baseline.
+
+Throughput metrics are compared higher-is-better and the script exits
+nonzero if any regresses by more than the threshold (default 20%,
+override with --threshold PCT). Metrics are selected by convention:
+keys ending in `_per_s`, or — for files with no such keys, like
+read_path.json whose floats are all rows/s — every float-valued key
+without a unit suffix (`_us`, `_ms`, `_bytes`). Config scalars
+(integers, booleans) are never compared.
+
+This is an advisory gate: bench numbers move with the machine, so CI
+runs it as a non-blocking job. A red result means "look at this PR's
+perf", not "the build is broken".
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+UNIT_SUFFIXES = ("_us", "_ms", "_bytes")
+
+
+def last_line(path: Path) -> dict:
+    lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
+    if not lines:
+        sys.exit(f"bench_compare: {path} is empty")
+    try:
+        obj = json.loads(lines[-1])
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_compare: {path} last line is not JSON: {e}")
+    if not isinstance(obj, dict):
+        sys.exit(f"bench_compare: {path} last line is not an object")
+    return obj
+
+
+def throughput_keys(obj: dict) -> list[str]:
+    per_s = [k for k, v in obj.items() if k.endswith("_per_s") and isinstance(v, (int, float))]
+    if per_s:
+        return per_s
+    # Fallback for result files that record bare rates: floats without a
+    # unit suffix are throughput; config scalars are ints/bools.
+    return [
+        k
+        for k, v in obj.items()
+        if isinstance(v, float) and not k.endswith(UNIT_SUFFIXES)
+    ]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("new", type=Path, help="fresh bench JSONL file")
+    ap.add_argument(
+        "baseline",
+        type=Path,
+        nargs="?",
+        help="baseline JSONL (default: bench_results/<same name>)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        help="regression threshold in percent (default 20)",
+    )
+    args = ap.parse_args()
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        repo = Path(__file__).resolve().parent.parent
+        baseline_path = repo / "bench_results" / args.new.name
+    if not baseline_path.exists():
+        print(f"bench_compare: no baseline at {baseline_path}; nothing to compare")
+        return 0
+
+    new = last_line(args.new)
+    base = last_line(baseline_path)
+    keys = [k for k in throughput_keys(base) if k in new]
+    if not keys:
+        print(f"bench_compare: no throughput metrics shared with {baseline_path.name}")
+        return 0
+
+    regressions = []
+    width = max(len(k) for k in keys)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'new':>12}  change")
+    for k in keys:
+        old_v, new_v = float(base[k]), float(new[k])
+        if old_v <= 0:
+            continue
+        change = (new_v - old_v) / old_v * 100.0
+        marker = ""
+        if change < -args.threshold:
+            regressions.append((k, change))
+            marker = "  << REGRESSION"
+        print(f"{k:<{width}}  {old_v:>12.1f}  {new_v:>12.1f}  {change:+6.1f}%{marker}")
+
+    if regressions:
+        print(
+            f"\nbench_compare: {len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:.0f}% vs {baseline_path}"
+        )
+        return 1
+    print(f"\nbench_compare: no regression beyond {args.threshold:.0f}% vs {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

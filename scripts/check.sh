@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -12,6 +15,9 @@ cargo test -q --workspace
 
 echo "==> crash-injection suite (checkpoint/maintenance + WAL recovery)"
 cargo test -q -p tendax-storage --test maintenance --test recovery_faults
+
+echo "==> crash-simulation suite (SimVfs, seeds 0..32)"
+cargo test -q -p tendax-storage --test sim_crash
 
 echo "==> commit-pipeline invariants (gap-freedom, FCW, WAL prefix replay)"
 cargo test -q -p tendax-storage --test commit_pipeline

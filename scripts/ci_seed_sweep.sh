@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Crash-simulation seed sweep: run the sim_crash suite once per seed so
+# a red CI log names the exact failing schedule.
+#
+# Usage: scripts/ci_seed_sweep.sh [START] [COUNT]
+#   START  first seed (default 0)
+#   COUNT  number of seeds (default 32)
+#
+# Reproducing a failure locally is one command — every assertion in the
+# suite embeds its seed, and the suite honors the same variable:
+#
+#   TENDAX_SIM_SEED=<n> cargo test -p tendax-storage --test sim_crash
+#
+# (A plain `cargo test --test sim_crash` sweeps seeds 0..32 in-process;
+# this script exists so CI can shard, extend the range nightly, and
+# report per-seed pass/fail lines.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+start="${1:-0}"
+count="${2:-32}"
+
+echo "==> building sim_crash test binary"
+cargo test -q -p tendax-storage --test sim_crash --no-run
+
+failed=()
+for ((seed = start; seed < start + count; seed++)); do
+    if TENDAX_SIM_SEED="$seed" cargo test -q -p tendax-storage --test sim_crash >/tmp/sim_seed_$$.log 2>&1; then
+        echo "seed $seed: ok"
+    else
+        echo "seed $seed: FAILED"
+        echo "--- output (rerun: TENDAX_SIM_SEED=$seed cargo test -p tendax-storage --test sim_crash) ---"
+        cat /tmp/sim_seed_$$.log
+        failed+=("$seed")
+    fi
+done
+rm -f /tmp/sim_seed_$$.log
+
+if ((${#failed[@]})); then
+    echo "==> ${#failed[@]}/$count seeds failed: ${failed[*]}"
+    echo "==> rerun one with: TENDAX_SIM_SEED=<n> cargo test -p tendax-storage --test sim_crash"
+    exit 1
+fi
+echo "==> all $count seeds passed (seeds $start..$((start + count - 1)))"
