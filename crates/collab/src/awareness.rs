@@ -72,9 +72,18 @@ impl AwarenessRegistry {
     }
 
     /// Mutate a session's presence in place (no-op if disconnected).
-    pub fn update(&self, session: SessionId, f: impl FnOnce(&mut Presence)) {
+    ///
+    /// Every presence mutation is activity: `last_active` is bumped to
+    /// `now` unconditionally, so an actively editing session (cursor
+    /// moves, doc opens, selections) can never be reaped by
+    /// [`AwarenessRegistry::prune_idle`] while it is in use. (It used to
+    /// be the callers' job to remember the bump; an audit found most
+    /// mutation sites forgot, which let the idle sweep prune live
+    /// editors.)
+    pub fn update(&self, session: SessionId, now: i64, f: impl FnOnce(&mut Presence)) {
         if let Some(p) = self.inner.lock().get_mut(&session) {
             f(p);
+            p.last_active = p.last_active.max(now);
         }
     }
 
@@ -148,7 +157,7 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.on_doc(DocId(5)).len(), 1);
 
-        reg.update(SessionId(2), |p| {
+        reg.update(SessionId(2), 1, |p| {
             p.doc = Some(DocId(5));
             p.cursor = Some(3);
         });
@@ -159,7 +168,7 @@ mod tests {
         reg.remove(SessionId(1));
         assert_eq!(reg.len(), 1);
         // Updating a removed session is a no-op.
-        reg.update(SessionId(1), |p| p.cursor = Some(9));
+        reg.update(SessionId(1), 2, |p| p.cursor = Some(9));
         assert_eq!(reg.len(), 1);
     }
 
@@ -176,6 +185,46 @@ mod tests {
         assert_eq!(dead, vec![SessionId(1)]);
         assert_eq!(reg.len(), 1);
         assert!(reg.prune_idle(50).is_empty());
+    }
+
+    /// Regression (active editor pruned): presence mutations used to
+    /// leave `last_active` untouched, so a session whose user was moving
+    /// the cursor the whole time could still fall behind the idle
+    /// horizon and be reaped. Every `update` now refreshes the clock.
+    #[test]
+    fn prune_spares_actively_updating_session() {
+        let reg = AwarenessRegistry::new();
+        let mut active = presence(1, Some(5));
+        active.last_active = 10;
+        let mut idle = presence(2, None);
+        idle.last_active = 10;
+        reg.register(active);
+        reg.register(idle);
+        // Session 1 keeps editing: cursor moves at ticks 20, 30, 40.
+        for now in [20, 30, 40] {
+            reg.update(SessionId(1), now, |p| p.cursor = Some(now as usize));
+        }
+        // Sweep with a horizon past the registration time but before the
+        // last activity: the active session must survive, the idle one
+        // must go.
+        let dead = reg.prune_idle(35);
+        assert_eq!(dead, vec![SessionId(2)]);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.all()[0].session, SessionId(1));
+    }
+
+    /// `update` never rewinds the clock: a stale `now` (e.g. a reordered
+    /// caller) cannot make a session look older than it is.
+    #[test]
+    fn update_does_not_rewind_last_active() {
+        let reg = AwarenessRegistry::new();
+        let mut p = presence(1, None);
+        p.last_active = 50;
+        reg.register(p);
+        reg.update(SessionId(1), 20, |p| p.cursor = Some(1));
+        assert_eq!(reg.all()[0].last_active, 50);
+        reg.update(SessionId(1), 60, |p| p.cursor = Some(2));
+        assert_eq!(reg.all()[0].last_active, 60);
     }
 
     #[test]

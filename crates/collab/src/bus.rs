@@ -8,14 +8,28 @@
 //! one-way latency, and messages become visible to `poll` only after
 //! their latency has elapsed — enough to reproduce the ordering and
 //! awareness behaviour of the real network deterministically.
+//!
+//! ## Backpressure
+//!
+//! Per-subscriber queues are **bounded** ([`BusPolicy`]). A subscriber
+//! that stops polling does not grow a queue without bound and does not
+//! slow anyone else down: once its queue is full further events are
+//! dropped (counted in [`crate::transport::TransportStats::dropped`]),
+//! and once the drops exceed the lag limit the subscriber is evicted.
+//! An evicted subscriber observes [`Subscription::lagged_out`] and must
+//! resynchronize from the database before re-subscribing — the same
+//! slow-consumer policy `tendax-net` applies to TCP connections.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use tendax_text::{DocId, Effect, OpId, UserId};
+
+use crate::transport::{EventSource, Transport, TransportStats};
 
 /// Identifier of an editor session on the bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,11 +51,38 @@ pub struct DocEvent {
     pub effects: Vec<Effect>,
 }
 
+/// Bounded-queue policy for subscribers (shared by the TCP server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusPolicy {
+    /// Maximum undelivered events queued per subscriber; further events
+    /// are dropped (and counted) until the consumer catches up.
+    pub capacity: usize,
+    /// Cumulative drops a subscriber may accrue before it is evicted.
+    pub lag_limit: u64,
+}
+
+impl Default for BusPolicy {
+    fn default() -> Self {
+        BusPolicy {
+            capacity: 1024,
+            lag_limit: 256,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Subscriber {
     doc: DocId,
     latency: Duration,
     tx: Sender<(Instant, Arc<DocEvent>)>,
+    /// Undelivered events currently in this subscriber's queue; shared
+    /// with the [`Subscription`], which decrements as it receives.
+    depth: Arc<AtomicUsize>,
+    /// Events dropped because the queue was full.
+    lagged: u64,
+    /// Set on eviction so the subscription can tell "evicted for
+    /// lagging" apart from "bus dropped".
+    evicted: Arc<AtomicBool>,
 }
 
 #[derive(Debug, Default)]
@@ -49,12 +90,22 @@ struct BusInner {
     subscribers: HashMap<u64, Subscriber>,
     next_sub: u64,
     published: u64,
+    delivered: u64,
+    dropped: u64,
+    evicted: u64,
 }
 
 /// The shared broadcast bus. Cheap to clone.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LanBus {
     inner: Arc<Mutex<BusInner>>,
+    policy: BusPolicy,
+}
+
+impl Default for LanBus {
+    fn default() -> Self {
+        Self::with_policy(BusPolicy::default())
+    }
 }
 
 impl LanBus {
@@ -62,21 +113,47 @@ impl LanBus {
         Self::default()
     }
 
+    /// A bus with an explicit per-subscriber queue bound and lag limit.
+    pub fn with_policy(policy: BusPolicy) -> Self {
+        LanBus {
+            inner: Arc::new(Mutex::new(BusInner::default())),
+            policy,
+        }
+    }
+
+    pub fn policy(&self) -> BusPolicy {
+        self.policy
+    }
+
     /// Subscribe to events of one document with a simulated one-way
     /// latency. Dropping the returned subscription unsubscribes.
     pub fn subscribe(&self, doc: DocId, latency: Duration) -> Subscription {
         let (tx, rx) = unbounded();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let evicted = Arc::new(AtomicBool::new(false));
         let mut inner = self.inner.lock();
         let id = inner.next_sub;
         inner.next_sub += 1;
-        inner
-            .subscribers
-            .insert(id, Subscriber { doc, latency, tx });
+        inner.subscribers.insert(
+            id,
+            Subscriber {
+                doc,
+                latency,
+                tx,
+                depth: Arc::clone(&depth),
+                lagged: 0,
+                evicted: Arc::clone(&evicted),
+            },
+        );
         Subscription {
             id,
+            doc,
+            latency,
             rx,
             pending: Vec::new(),
             bus: self.clone(),
+            depth,
+            evicted,
         }
     }
 
@@ -84,19 +161,47 @@ impl LanBus {
     /// payload (including its `Vec<Effect>`) is allocated once and
     /// shared: fan-out to N editors is N `Arc` clones, not N deep
     /// copies of the effect list.
+    ///
+    /// Never blocks on a consumer: a subscriber whose queue is at
+    /// [`BusPolicy::capacity`] has the event dropped (counted), and one
+    /// that has dropped more than [`BusPolicy::lag_limit`] events is
+    /// evicted on the spot.
     pub fn publish(&self, event: DocEvent) {
         let event = Arc::new(event);
+        let policy = self.policy;
         let mut inner = self.inner.lock();
         inner.published += 1;
         let now = Instant::now();
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        let mut evicted = 0u64;
         inner.subscribers.retain(|_, sub| {
             if sub.doc != event.doc {
                 return true;
             }
+            if sub.depth.load(Ordering::Acquire) >= policy.capacity {
+                sub.lagged += 1;
+                dropped += 1;
+                if sub.lagged > policy.lag_limit {
+                    sub.evicted.store(true, Ordering::Release);
+                    evicted += 1;
+                    return false; // dropping `tx` disconnects the channel
+                }
+                return true;
+            }
             let deliver_at = now + sub.latency;
+            sub.depth.fetch_add(1, Ordering::AcqRel);
             // A closed channel means the subscription was dropped.
-            sub.tx.send((deliver_at, Arc::clone(&event))).is_ok()
+            if sub.tx.send((deliver_at, Arc::clone(&event))).is_ok() {
+                delivered += 1;
+                true
+            } else {
+                false
+            }
         });
+        inner.delivered += delivered;
+        inner.dropped += dropped;
+        inner.evicted += evicted;
     }
 
     /// Total events ever published (bus statistics).
@@ -109,8 +214,37 @@ impl LanBus {
         self.inner.lock().subscribers.len()
     }
 
+    /// Cumulative delivery/backpressure counters.
+    pub fn stats(&self) -> TransportStats {
+        let inner = self.inner.lock();
+        TransportStats {
+            published: inner.published,
+            delivered: inner.delivered,
+            dropped: inner.dropped,
+            evicted: inner.evicted,
+        }
+    }
+
     fn unsubscribe(&self, id: u64) {
         self.inner.lock().subscribers.remove(&id);
+    }
+}
+
+impl Transport for LanBus {
+    fn connect(&self, doc: DocId, latency: Duration) -> Box<dyn EventSource> {
+        Box::new(self.subscribe(doc, latency))
+    }
+
+    fn publish(&self, event: DocEvent) {
+        LanBus::publish(self, event);
+    }
+
+    fn subscriber_count(&self) -> usize {
+        LanBus::subscriber_count(self)
+    }
+
+    fn stats(&self) -> TransportStats {
+        LanBus::stats(self)
     }
 }
 
@@ -118,18 +252,30 @@ impl LanBus {
 #[derive(Debug)]
 pub struct Subscription {
     id: u64,
+    doc: DocId,
+    latency: Duration,
     rx: Receiver<(Instant, Arc<DocEvent>)>,
     /// Messages received from the channel but not yet past their latency.
     pending: Vec<(Instant, Arc<DocEvent>)>,
     bus: LanBus,
+    /// Shared with the bus: undelivered events in the channel.
+    depth: Arc<AtomicUsize>,
+    evicted: Arc<AtomicBool>,
 }
 
 impl Subscription {
-    /// Events whose simulated latency has elapsed, in publish order.
-    pub fn poll(&mut self) -> Vec<Arc<DocEvent>> {
+    /// Pull everything currently in the channel into `pending`,
+    /// releasing queue capacity as we go.
+    fn drain_channel(&mut self) {
         while let Ok(msg) = self.rx.try_recv() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
             self.pending.push(msg);
         }
+    }
+
+    /// Events whose simulated latency has elapsed, in publish order.
+    pub fn poll(&mut self) -> Vec<Arc<DocEvent>> {
+        self.drain_channel();
         let now = Instant::now();
         let mut ready = Vec::new();
         // Delivery preserves publish order: messages entered `pending` in
@@ -171,7 +317,10 @@ impl Subscription {
             }
             let wait = wake.saturating_duration_since(now);
             match self.rx.recv_timeout(wait) {
-                Ok(msg) => self.pending.push(msg),
+                Ok(msg) => {
+                    self.depth.fetch_sub(1, Ordering::AcqRel);
+                    self.pending.push(msg);
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     // The bus is gone; nothing new can arrive. With
@@ -189,10 +338,49 @@ impl Subscription {
 
     /// Events queued but not yet deliverable (in flight on the "wire").
     pub fn in_flight(&mut self) -> usize {
-        while let Ok(msg) = self.rx.try_recv() {
-            self.pending.push(msg);
-        }
+        self.drain_channel();
         self.pending.len()
+    }
+
+    /// True once the bus evicted this subscription for lagging past
+    /// [`BusPolicy::lag_limit`]. The event stream has a hole: refresh
+    /// from the database and re-subscribe.
+    pub fn lagged_out(&self) -> bool {
+        self.evicted.load(Ordering::Acquire)
+    }
+
+    pub fn doc(&self) -> DocId {
+        self.doc
+    }
+
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+}
+
+impl EventSource for Subscription {
+    fn poll(&mut self) -> Vec<Arc<DocEvent>> {
+        Subscription::poll(self)
+    }
+
+    fn poll_timeout(&mut self, timeout: Duration) -> Vec<Arc<DocEvent>> {
+        Subscription::poll_timeout(self, timeout)
+    }
+
+    fn in_flight(&mut self) -> usize {
+        Subscription::in_flight(self)
+    }
+
+    fn lagged_out(&self) -> bool {
+        Subscription::lagged_out(self)
+    }
+
+    fn doc(&self) -> DocId {
+        self.doc
+    }
+
+    fn latency(&self) -> Duration {
+        self.latency
     }
 }
 
@@ -336,5 +524,79 @@ mod tests {
         bus.publish(event(1, 1)); // must not panic; lazily cleaned
         assert_eq!(bus.subscriber_count(), 0);
         assert_eq!(bus.published_count(), 1);
+    }
+
+    /// Regression (unbounded fan-out queues): a subscriber that never
+    /// polls used to grow its channel without bound — one stalled editor
+    /// could OOM the broadcast path. The queue is now capped at
+    /// [`BusPolicy::capacity`]; overflow is dropped and counted.
+    #[test]
+    fn stalled_subscriber_queue_is_bounded() {
+        let bus = LanBus::with_policy(BusPolicy {
+            capacity: 4,
+            lag_limit: 1_000_000, // no eviction in this test
+        });
+        let mut stalled = bus.subscribe(DocId(1), Duration::ZERO);
+        for i in 0..100 {
+            bus.publish(event(1, i));
+        }
+        // Only `capacity` events were ever queued; the rest were dropped.
+        assert_eq!(stalled.in_flight(), 4);
+        let stats = bus.stats();
+        assert_eq!(stats.published, 100);
+        assert_eq!(stats.delivered, 4);
+        assert_eq!(stats.dropped, 96);
+        assert_eq!(stats.evicted, 0);
+        // The subscriber is still connected (under the lag limit) and
+        // receives the head-of-queue prefix it did get.
+        let got = stalled.poll();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].op, OpId(0));
+        assert!(!stalled.lagged_out());
+    }
+
+    /// A subscriber lagging past [`BusPolicy::lag_limit`] is evicted:
+    /// the publisher stops paying for it, and the subscription observes
+    /// `lagged_out` so it can refresh + re-subscribe.
+    #[test]
+    fn lagging_subscriber_is_evicted() {
+        let bus = LanBus::with_policy(BusPolicy {
+            capacity: 2,
+            lag_limit: 3,
+        });
+        let stalled = bus.subscribe(DocId(1), Duration::ZERO);
+        let mut healthy = bus.subscribe(DocId(1), Duration::ZERO);
+        for i in 0..20 {
+            bus.publish(event(1, i));
+            healthy.poll(); // keeps its own queue empty
+        }
+        // 2 queued, then 3 tolerated drops, then eviction.
+        assert!(stalled.lagged_out());
+        assert_eq!(bus.subscriber_count(), 1);
+        let stats = bus.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.dropped, 4); // lag_limit + the final straw
+                                      // The healthy subscriber saw everything.
+        assert!(!healthy.lagged_out());
+    }
+
+    /// Catching up un-stalls a subscriber: capacity freed by polling is
+    /// available to later publishes.
+    #[test]
+    fn draining_frees_queue_capacity() {
+        let bus = LanBus::with_policy(BusPolicy {
+            capacity: 2,
+            lag_limit: 1_000_000,
+        });
+        let mut sub = bus.subscribe(DocId(1), Duration::ZERO);
+        bus.publish(event(1, 0));
+        bus.publish(event(1, 1));
+        bus.publish(event(1, 2)); // dropped: queue full
+        assert_eq!(sub.poll().len(), 2);
+        bus.publish(event(1, 3)); // fits again
+        let got = sub.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].op, OpId(3));
+        assert_eq!(bus.stats().dropped, 1);
     }
 }

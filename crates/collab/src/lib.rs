@@ -38,8 +38,10 @@ pub mod awareness;
 pub mod bus;
 pub mod server;
 pub mod session;
+pub mod transport;
 
 pub use awareness::{AwarenessRegistry, Platform, Presence};
-pub use bus::{DocEvent, LanBus, SessionId, Subscription};
+pub use bus::{BusPolicy, DocEvent, LanBus, SessionId, Subscription};
 pub use server::CollabServer;
 pub use session::{EditorDoc, EditorSession, EditorStats};
+pub use transport::{EventSource, Transport, TransportStats};

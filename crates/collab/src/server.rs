@@ -10,15 +10,17 @@ use tendax_text::{DocId, Result, TextDb};
 use crate::awareness::{AwarenessRegistry, Platform, Presence};
 use crate::bus::{LanBus, SessionId};
 use crate::session::EditorSession;
+use crate::transport::Transport;
 
 /// The in-process TeNDaX collaboration server.
 ///
-/// Owns the shared [`TextDb`], the broadcast [`LanBus`] and the
-/// [`AwarenessRegistry`]. Cheap to clone; every editor session holds one.
+/// Owns the shared [`TextDb`], the broadcast [`Transport`] (a [`LanBus`]
+/// by default) and the [`AwarenessRegistry`]. Cheap to clone; every
+/// editor session holds one.
 #[derive(Debug, Clone)]
 pub struct CollabServer {
     tdb: TextDb,
-    bus: LanBus,
+    transport: Arc<dyn Transport>,
     awareness: AwarenessRegistry,
     next_session: Arc<AtomicU64>,
     default_latency: Duration,
@@ -27,6 +29,18 @@ pub struct CollabServer {
 impl CollabServer {
     pub fn new(tdb: TextDb) -> Self {
         Self::with_latency(tdb, Duration::ZERO)
+    }
+
+    /// A server broadcasting over an explicit transport implementation
+    /// (the in-process default is `LanBus::new()`).
+    pub fn with_transport(tdb: TextDb, transport: Arc<dyn Transport>) -> Self {
+        CollabServer {
+            tdb,
+            transport,
+            awareness: AwarenessRegistry::new(),
+            next_session: Arc::new(AtomicU64::new(1)),
+            default_latency: Duration::ZERO,
+        }
     }
 
     /// A server that runs background maintenance (auto-vacuum and
@@ -42,7 +56,7 @@ impl CollabServer {
     pub fn with_latency(tdb: TextDb, default_latency: Duration) -> Self {
         CollabServer {
             tdb,
-            bus: LanBus::new(),
+            transport: Arc::new(LanBus::new()),
             awareness: AwarenessRegistry::new(),
             next_session: Arc::new(AtomicU64::new(1)),
             default_latency,
@@ -53,12 +67,20 @@ impl CollabServer {
         &self.tdb
     }
 
-    pub fn bus(&self) -> &LanBus {
-        &self.bus
+    /// The broadcast transport committed operations fan out over.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     pub fn awareness(&self) -> &AwarenessRegistry {
         &self.awareness
+    }
+
+    /// Mutate a session's presence, stamping the engine clock — the one
+    /// entry point for presence mutations, so activity tracking (and
+    /// therefore idle pruning) can't miss an update site.
+    pub fn presence_update(&self, session: SessionId, f: impl FnOnce(&mut Presence)) {
+        self.awareness.update(session, self.tdb.now(), f);
     }
 
     pub fn default_latency(&self) -> Duration {

@@ -15,8 +15,9 @@ use rand::{rngs::SmallRng, Rng, SeedableRng};
 use tendax_text::{Clip, DocHandle, DocId, EditReceipt, Result, StyleId, TextError, UserId};
 
 use crate::awareness::Platform;
-use crate::bus::{DocEvent, SessionId, Subscription};
+use crate::bus::{DocEvent, SessionId};
 use crate::server::CollabServer;
+use crate::transport::EventSource;
 
 /// How many times an edit is retried after losing a commit race before
 /// [`TextError::RetriesExhausted`] is surfaced. Each retry re-syncs from
@@ -103,8 +104,8 @@ impl EditorSession {
     /// Open a document by id.
     pub fn open_id(&self, doc: DocId) -> Result<EditorDoc> {
         let handle = self.server.textdb().open(doc, self.user)?;
-        let sub = self.server.bus().subscribe(doc, self.latency);
-        self.server.awareness().update(self.id, |p| {
+        let sub = self.server.transport().connect(doc, self.latency);
+        self.server.presence_update(self.id, |p| {
             p.doc = Some(doc);
             p.cursor = Some(0);
         });
@@ -138,6 +139,10 @@ pub struct EditorStats {
     pub events_applied: u64,
     /// Remote events that had to wait in the reorder buffer.
     pub events_reordered: u64,
+    /// Full refreshes forced by transport eviction (lagged out) — the
+    /// editor fell so far behind the broadcast stream that it had to
+    /// resynchronize from the database and re-subscribe.
+    pub resyncs: u64,
 }
 
 /// A caller-supplied position snapshotted against the local view, so it
@@ -158,7 +163,7 @@ enum PosAnchor {
 #[derive(Debug)]
 pub struct EditorDoc {
     handle: DocHandle,
-    sub: Subscription,
+    sub: Box<dyn EventSource>,
     server: CollabServer,
     session: SessionId,
     cursor: usize,
@@ -213,14 +218,34 @@ impl EditorDoc {
     /// drain (e.g. the dependency's event was published before this
     /// editor subscribed) falls back to a full refresh.
     pub fn sync(&mut self) -> usize {
+        self.recover_if_evicted();
         let events = self.sub.poll();
         self.apply_events(events)
     }
 
     /// Keep syncing until work arrives or the timeout elapses.
     pub fn sync_timeout(&mut self, timeout: Duration) -> usize {
+        self.recover_if_evicted();
         let events = self.sub.poll_timeout(timeout);
         self.apply_events(events)
+    }
+
+    /// A transport that evicted this subscriber for lagging leaves a
+    /// hole in the event stream: resynchronize from the database
+    /// (supersedes everything the stream would have said) and
+    /// re-subscribe so future events flow again.
+    fn recover_if_evicted(&mut self) {
+        if !self.sub.lagged_out() {
+            return;
+        }
+        let doc = self.handle.doc();
+        let latency = self.sub.latency();
+        self.sub = self.server.transport().connect(doc, latency);
+        self.reorder.clear();
+        if self.handle.refresh().is_ok() {
+            self.stats.resyncs += 1;
+            self.reanchor_cursor();
+        }
     }
 
     fn apply_events(&mut self, events: Vec<Arc<DocEvent>>) -> usize {
@@ -302,8 +327,7 @@ impl EditorDoc {
         };
         let cursor = self.cursor;
         self.server
-            .awareness()
-            .update(self.session, |p| p.cursor = Some(cursor));
+            .presence_update(self.session, |p| p.cursor = Some(cursor));
     }
 
     /// Recompute the cursor from its anchor after remote changes.
@@ -323,16 +347,14 @@ impl EditorDoc {
             self.cursor = new_pos;
             let cursor = self.cursor;
             self.server
-                .awareness()
-                .update(self.session, |p| p.cursor = Some(cursor));
+                .presence_update(self.session, |p| p.cursor = Some(cursor));
         }
     }
 
     /// Select a range (published through awareness).
     pub fn select(&mut self, from: usize, to: usize) {
         self.server
-            .awareness()
-            .update(self.session, |p| p.selection = Some((from, to)));
+            .presence_update(self.session, |p| p.selection = Some((from, to)));
     }
 
     // ------------------------------------------------------------- editing
@@ -566,7 +588,7 @@ impl EditorDoc {
         if receipt.effects.is_empty() {
             return;
         }
-        self.server.bus().publish(DocEvent {
+        self.server.transport().publish(DocEvent {
             doc: self.handle.doc(),
             op: receipt.op,
             commit_ts: receipt.commit_ts,
@@ -575,10 +597,25 @@ impl EditorDoc {
             kind: kind.to_owned(),
             effects: receipt.effects.clone(),
         });
-        let now = self.server.textdb().now();
-        self.server
-            .awareness()
-            .update(self.session, |p| p.last_active = now);
+        // `presence_update` stamps last_active for us.
+        self.server.presence_update(self.session, |_| {});
+    }
+}
+
+impl Drop for EditorDoc {
+    /// Closing a document clears the awareness it advertised: a session
+    /// whose editor window is gone must not keep showing up in
+    /// `editors_on(doc)` as a ghost. (The focus may have moved to a
+    /// document opened later — only clear presence still pointing here.)
+    fn drop(&mut self) {
+        let doc = self.handle.doc();
+        self.server.presence_update(self.session, |p| {
+            if p.doc == Some(doc) {
+                p.doc = None;
+                p.cursor = None;
+                p.selection = None;
+            }
+        });
     }
 }
 
@@ -938,6 +975,83 @@ mod tests {
         da.handle.refresh().unwrap();
         da.type_text(5, "!").unwrap();
         assert_eq!(da.text(), "solid!");
+    }
+
+    /// Regression (ghost awareness): `open_id` set `p.doc`/`p.cursor`
+    /// but nothing ever cleared them, so a closed editor window kept
+    /// showing up in `editors_on(doc)` forever. Dropping the
+    /// `EditorDoc` now clears the presence it advertised.
+    #[test]
+    fn dropping_editor_doc_clears_presence() {
+        let (server, sa, _sb) = lan();
+        let da = sa.open("shared").unwrap();
+        let doc = da.doc();
+        assert_eq!(server.editors_on(doc).len(), 1);
+        drop(da);
+        assert!(
+            server.editors_on(doc).is_empty(),
+            "closed editor must not haunt editors_on()"
+        );
+        // The session itself is still online, just not focused anywhere.
+        let online = server.who_is_online();
+        assert_eq!(online.len(), 2);
+        assert_eq!(online[0].doc, None);
+        assert_eq!(online[0].cursor, None);
+    }
+
+    /// Focus moves with the editor windows: closing an *older* window
+    /// must not clear presence that now points at a newer document.
+    #[test]
+    fn dropping_stale_editor_doc_keeps_newer_focus() {
+        let tdb = TextDb::in_memory();
+        let alice = tdb.create_user("alice").unwrap();
+        tdb.create_document("first", alice).unwrap();
+        tdb.create_document("second", alice).unwrap();
+        let server = CollabServer::new(tdb);
+        let sa = server.connect("alice", Platform::Linux).unwrap();
+        let d1 = sa.open("first").unwrap();
+        let d2 = sa.open("second").unwrap();
+        // Focus is on "second" (opened later). Closing "first" must not
+        // blank it out.
+        drop(d1);
+        let second = d2.doc();
+        assert_eq!(server.editors_on(second).len(), 1);
+        drop(d2);
+        assert!(server.editors_on(second).is_empty());
+    }
+
+    /// An editor evicted from the transport for lagging recovers on its
+    /// next sync: full refresh from the database plus a fresh
+    /// subscription, counted in `EditorStats::resyncs`.
+    #[test]
+    fn evicted_editor_recovers_via_refresh() {
+        use crate::bus::{BusPolicy, LanBus};
+        let tdb = TextDb::in_memory();
+        let alice = tdb.create_user("alice").unwrap();
+        tdb.create_user("bob").unwrap();
+        tdb.create_document("shared", alice).unwrap();
+        let bus = LanBus::with_policy(BusPolicy {
+            capacity: 2,
+            lag_limit: 3,
+        });
+        let server = CollabServer::with_transport(tdb, std::sync::Arc::new(bus));
+        let sa = server.connect("alice", Platform::WindowsXp).unwrap();
+        let sb = server.connect("bob", Platform::Linux).unwrap();
+        let mut da = sa.open("shared").unwrap();
+        let mut db = sb.open("shared").unwrap();
+        // Bob never syncs while Alice types far past his queue bound.
+        for i in 0..12 {
+            da.type_text(i, "x").unwrap();
+        }
+        assert_eq!(server.transport().stats().evicted, 1);
+        // Bob's next sync heals: refresh + re-subscribe.
+        db.sync();
+        assert_eq!(db.stats().resyncs, 1);
+        assert_eq!(db.text(), da.text());
+        // And the fresh subscription delivers future events normally.
+        da.type_text(0, "!").unwrap();
+        db.sync();
+        assert_eq!(db.text(), da.text());
     }
 
     #[test]

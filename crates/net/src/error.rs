@@ -1,0 +1,121 @@
+//! Typed errors of the wire protocol and transport.
+//!
+//! Nothing on the network path is allowed to panic: every malformed
+//! byte sequence, truncated frame or protocol violation maps to a
+//! `NetError`, and the server's reaction is always scoped to the one
+//! connection that produced it.
+
+use std::fmt;
+
+use tendax_text::TextError;
+
+/// Error codes carried by `Frame::Error` on the wire.
+pub mod codes {
+    /// Authentication failed (unknown user, bad token, version skew).
+    pub const AUTH: u16 = 1;
+    /// The peer violated the protocol (bad frame, wrong state).
+    pub const PROTOCOL: u16 = 2;
+    /// The connection was dropped for lagging (slow consumer).
+    pub const SLOW_CONSUMER: u16 = 3;
+    /// The request referenced something that does not exist.
+    pub const NOT_FOUND: u16 = 4;
+    /// The edit was rejected by the database (permissions, position).
+    pub const REJECTED: u16 = 5;
+}
+
+/// Everything that can go wrong on the wire. Malformed input from a
+/// peer is *data*, not a bug: decoding returns these, never panics.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The peer closed the connection.
+    Closed,
+    /// A frame's length prefix exceeds the negotiated maximum — either
+    /// corruption or a hostile peer; the connection is dropped before
+    /// any allocation of that size.
+    FrameTooLarge { len: u32, max: u32 },
+    /// A zero-length frame (the tag byte is mandatory).
+    EmptyFrame,
+    /// Payload decoding ran past the end of the frame.
+    Truncated {
+        tag: u8,
+        needed: usize,
+        remaining: usize,
+    },
+    /// No such frame tag in this protocol version.
+    UnknownTag(u8),
+    /// The payload bytes don't decode as the frame the tag promises.
+    BadPayload { tag: u8, reason: String },
+    /// The peer sent a well-formed frame the protocol does not allow in
+    /// this state (e.g. `Edit` before `Hello`).
+    Protocol(String),
+    /// Handshake rejected.
+    Auth(String),
+    /// The server answered with an error frame.
+    Remote { code: u16, message: String },
+    /// This connection was dropped for lagging behind the broadcast.
+    SlowConsumer,
+    /// Timed out waiting for a reply.
+    Timeout,
+    /// A database error surfaced through the protocol.
+    Text(TextError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            NetError::EmptyFrame => write!(f, "zero-length frame (missing tag byte)"),
+            NetError::Truncated {
+                tag,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "frame 0x{tag:02x} truncated: needed {needed} more bytes, {remaining} remain"
+            ),
+            NetError::UnknownTag(t) => write!(f, "unknown frame tag 0x{t:02x}"),
+            NetError::BadPayload { tag, reason } => {
+                write!(f, "bad payload for frame 0x{tag:02x}: {reason}")
+            }
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Auth(msg) => write!(f, "authentication failed: {msg}"),
+            NetError::Remote { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            NetError::SlowConsumer => write!(f, "disconnected: lagging behind the broadcast"),
+            NetError::Timeout => write!(f, "timed out waiting for a reply"),
+            NetError::Text(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Text(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<TextError> for NetError {
+    fn from(e: TextError) -> Self {
+        NetError::Text(e)
+    }
+}
+
+/// Result alias for the net crate.
+pub type Result<T> = std::result::Result<T, NetError>;

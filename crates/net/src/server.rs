@@ -1,0 +1,880 @@
+//! The TCP collaboration server.
+//!
+//! Multiplexes many client connections over one [`CollabServer`]: each
+//! accepted socket gets a handshake, a server-side [`EditorSession`]
+//! (so edits reuse the retry/awareness machinery), a reader thread, a
+//! writer thread draining a **bounded** outbound queue, and one
+//! forwarder thread per subscribed document pumping committed events
+//! from the in-process [`Transport`] onto the wire.
+//!
+//! ## Slow-consumer policy
+//!
+//! The outbound queue has a fixed capacity. Broadcast frames (`Event`)
+//! are enqueued with `try_push`: when the queue is full the frame is
+//! dropped and counted as lag, and the event stream is *lost* — the
+//! client has a gap it cannot detect, so the forwarder suppresses
+//! further events (each counted as lag) and schedules a recovery
+//! snapshot. Delivering the snapshot resets the lag counter; failing to
+//! deliver it within `critical_send_timeout`, or accumulating more than
+//! `lag_limit` outstanding lag before it lands, kills the connection:
+//! the queue is cleared, a final `Error{SLOW_CONSUMER}` frame is
+//! emitted, and the socket closes. Reply frames (`Snapshot`, `EditOk`,
+//! `Pong`, …) are *critical*: the sender waits up to
+//! `critical_send_timeout` for queue space and kills the connection if
+//! the client cannot even absorb replies. This is the [`LanBus`] policy
+//! (bound, count, evict) plus the resync step a remote mirror needs —
+//! one slow editor can never wedge the server or the other editors.
+//!
+//! ## Error isolation
+//!
+//! A malformed frame, unknown tag, or protocol violation terminates
+//! *that* connection with a typed error frame; every other connection
+//! and the accept loop are untouched.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use tendax_collab::{CollabServer, EditorDoc, EditorSession, Platform};
+use tendax_text::DocId;
+
+use crate::error::{codes, NetError, Result};
+use crate::protocol::{EditOp, Frame, WireChar, WireEvent, WirePresence, PROTOCOL_VERSION};
+use crate::wire::FrameBuffer;
+
+/// Tuning knobs of the TCP server.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Shared secret required in `Hello::token`; `None` accepts any.
+    pub token: Option<String>,
+    /// Outbound queue capacity, in frames, per connection.
+    pub outbound_capacity: usize,
+    /// Dropped frames tolerated before a lagging connection is cut.
+    pub lag_limit: u64,
+    /// How long a critical (reply) frame may wait for queue space.
+    pub critical_send_timeout: Duration,
+    /// Socket read timeout of the per-connection reader loop; bounds
+    /// how quickly kill flags and shutdown are observed.
+    pub read_tick: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            token: None,
+            outbound_capacity: 1024,
+            lag_limit: 256,
+            critical_send_timeout: Duration::from_secs(5),
+            read_tick: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Counters exposed by [`NetServer::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetServerStats {
+    /// Connections accepted (including ones that failed the handshake).
+    pub accepted: u64,
+    /// Handshakes rejected (bad version, unknown user, bad token).
+    pub auth_failures: u64,
+    /// Connections dropped for malformed frames / protocol violations.
+    pub protocol_errors: u64,
+    /// Connections dropped by the slow-consumer policy.
+    pub slow_disconnects: u64,
+    /// Frames dropped from full outbound queues across all connections.
+    pub frames_dropped: u64,
+    /// Event frames successfully enqueued by forwarders across all
+    /// connections.
+    pub events_forwarded: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    accepted: AtomicU64,
+    auth_failures: AtomicU64,
+    protocol_errors: AtomicU64,
+    slow_disconnects: AtomicU64,
+    frames_dropped: AtomicU64,
+    events_forwarded: AtomicU64,
+}
+
+/// Bounded outbound frame queue with a kill switch.
+#[derive(Debug)]
+struct OutQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when frames arrive (writer waits on this).
+    data: Condvar,
+    /// Signalled when space frees up (critical senders wait on this).
+    space: Condvar,
+    capacity: usize,
+    lagged: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    frames: VecDeque<Vec<u8>>,
+    /// No more pushes; the writer drains what remains, then closes.
+    closing: bool,
+}
+
+impl OutQueue {
+    fn new(capacity: usize) -> Self {
+        OutQueue {
+            state: Mutex::new(QueueState::default()),
+            data: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+            lagged: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue a droppable frame. Full queue = drop + lag count.
+    fn try_push(&self, frame: Vec<u8>) -> bool {
+        let mut s = self.state.lock();
+        if s.closing {
+            return false;
+        }
+        if s.frames.len() >= self.capacity {
+            drop(s);
+            self.lagged.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        s.frames.push_back(frame);
+        self.data.notify_one();
+        true
+    }
+
+    /// Enqueue a reply frame, waiting up to `timeout` for space.
+    fn push_critical(&self, frame: Vec<u8>, timeout: Duration) -> Result<()> {
+        let mut s = self.state.lock();
+        loop {
+            if s.closing {
+                return Err(NetError::Closed);
+            }
+            if s.frames.len() < self.capacity {
+                s.frames.push_back(frame);
+                self.data.notify_one();
+                return Ok(());
+            }
+            if self.space.wait_for(&mut s, timeout).timed_out() {
+                return Err(NetError::SlowConsumer);
+            }
+        }
+    }
+
+    /// Discard everything queued, emit one final frame, and close.
+    fn kill(&self, last_frame: Option<Vec<u8>>) {
+        let mut s = self.state.lock();
+        if s.closing {
+            return;
+        }
+        s.frames.clear();
+        if let Some(f) = last_frame {
+            s.frames.push_back(f);
+        }
+        s.closing = true;
+        self.data.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Next frame for the writer; `None` once closed and drained.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(f) = s.frames.pop_front() {
+                self.space.notify_one();
+                return Some(f);
+            }
+            if s.closing {
+                return None;
+            }
+            self.data.wait(&mut s);
+        }
+    }
+
+    fn lagged(&self) -> u64 {
+        self.lagged.load(Ordering::Relaxed)
+    }
+
+    /// Count a suppressed (not even attempted) frame as lag.
+    fn note_lag(&self) {
+        self.lagged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A recovery snapshot was delivered: outstanding lag is resolved.
+    fn reset_lag(&self) {
+        self.lagged.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Handles shared between a connection's threads.
+#[derive(Debug)]
+struct ConnShared {
+    queue: OutQueue,
+    /// Set when any thread decides the connection must die.
+    dead: AtomicBool,
+    stream: TcpStream,
+}
+
+impl ConnShared {
+    fn kill(&self, last_frame: Option<Vec<u8>>) {
+        self.dead.store(true, Ordering::Release);
+        self.queue.kill(last_frame);
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+}
+
+/// A running TCP server. Dropping it shuts everything down.
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<Arc<ConnShared>>>>,
+    stats: Arc<StatCells>,
+}
+
+impl NetServer {
+    /// Bind and start accepting. `addr` may use port 0 for an ephemeral
+    /// port; see [`NetServer::local_addr`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        collab: CollabServer,
+        config: NetConfig,
+    ) -> Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<Arc<ConnShared>>>> = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(StatCells::default());
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("tendax-net-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        // Reap finished connections so the registry does
+                        // not grow with server lifetime.
+                        conns.lock().retain(|c: &Arc<ConnShared>| !c.is_dead());
+                        let collab = collab.clone();
+                        let config = config.clone();
+                        let conns = Arc::clone(&conns);
+                        let stats = Arc::clone(&stats);
+                        let _ = std::thread::Builder::new()
+                            .name("tendax-net-conn".into())
+                            .spawn(move || {
+                                handle_connection(stream, collab, config, conns, stats);
+                            });
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(NetServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+            stats,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> NetServerStats {
+        NetServerStats {
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            auth_failures: self.stats.auth_failures.load(Ordering::Relaxed),
+            protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+            slow_disconnects: self.stats.slow_disconnects.load(Ordering::Relaxed),
+            frames_dropped: self.stats.frames_dropped.load(Ordering::Relaxed),
+            events_forwarded: self.stats.events_forwarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting and tear down every live connection.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for conn in self.conns.lock().drain(..) {
+            conn.kill(None);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn platform_from_wire(s: &str) -> Platform {
+    match s {
+        "Windows XP" => Platform::WindowsXp,
+        "Linux" => Platform::Linux,
+        "Mac OS X" => Platform::MacOsX,
+        other => Platform::Other(other.to_owned()),
+    }
+}
+
+/// Snapshot a *freshly opened* editor. Only valid right after open: a
+/// long-lived handle's `synced_ts` advances on rebuild, not on applied
+/// remote events, so snapshotting one later would understate the
+/// frontier (see [`db_snapshot`]).
+fn snapshot_frame(ed: &EditorDoc) -> Frame {
+    let chars = ed
+        .handle()
+        .snapshot_chars()
+        .into_iter()
+        .map(|(id, ch, deleted, style)| WireChar {
+            id: id.0,
+            ch,
+            deleted,
+            style: style.0,
+        })
+        .collect();
+    Frame::Snapshot {
+        doc: ed.doc().0,
+        synced_ts: ed.handle().synced_ts(),
+        chars,
+    }
+}
+
+/// Build a `Snapshot` frame from a fresh database open, so `synced_ts`
+/// and the character chain describe the same (current) commit frontier.
+fn db_snapshot(collab: &CollabServer, doc: DocId, user: tendax_text::UserId) -> Option<Frame> {
+    let h = collab.textdb().open(doc, user).ok()?;
+    Some(Frame::Snapshot {
+        doc: doc.0,
+        synced_ts: h.synced_ts(),
+        chars: h
+            .snapshot_chars()
+            .into_iter()
+            .map(|(id, ch, deleted, style)| WireChar {
+                id: id.0,
+                ch,
+                deleted,
+                style: style.0,
+            })
+            .collect(),
+    })
+}
+
+/// One subscription's forwarder-thread control block.
+struct SubState {
+    editor: EditorDoc,
+    stop: Arc<AtomicBool>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl SubState {
+    fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+        // Dropping `editor` clears this session's presence on the doc.
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    collab: CollabServer,
+    config: NetConfig,
+    conns: Arc<Mutex<Vec<Arc<ConnShared>>>>,
+    stats: Arc<StatCells>,
+) {
+    let _ = stream.set_nodelay(true);
+    let shared = Arc::new(ConnShared {
+        queue: OutQueue::new(config.outbound_capacity),
+        dead: AtomicBool::new(false),
+        stream: match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        },
+    });
+    conns.lock().push(Arc::clone(&shared));
+
+    // Writer thread: drains the bounded queue onto the socket. The
+    // write timeout is the last line of the slow-consumer defence: a
+    // peer that stops reading long enough to fill the kernel buffer
+    // loses the connection instead of pinning this thread forever.
+    let writer = {
+        let shared = Arc::clone(&shared);
+        let stats = Arc::clone(&stats);
+        let mut out = match shared.stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let _ = out.set_write_timeout(Some(config.critical_send_timeout));
+        std::thread::Builder::new()
+            .name("tendax-net-writer".into())
+            .spawn(move || {
+                while let Some(frame) = shared.queue.pop() {
+                    if let Err(e) = out.write_all(&frame) {
+                        // A write timeout means the peer stopped reading
+                        // long enough to fill the kernel buffer: that is
+                        // the slow-consumer policy firing, not an I/O
+                        // accident, so account for it as such.
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) {
+                            stats.slow_disconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        shared.kill(None);
+                        break;
+                    }
+                }
+                let _ = out.shutdown(std::net::Shutdown::Both);
+            })
+            .expect("spawn writer thread")
+    };
+
+    let result = serve_client(&stream, &collab, &config, &shared, &stats);
+
+    match result {
+        Ok(()) => shared.kill(None),
+        Err(err) => {
+            let (code, counts_as) = match &err {
+                NetError::Auth(_) => (codes::AUTH, &stats.auth_failures),
+                NetError::SlowConsumer => (codes::SLOW_CONSUMER, &stats.slow_disconnects),
+                NetError::Io(_) | NetError::Closed => (0, &stats.accepted),
+                _ => (codes::PROTOCOL, &stats.protocol_errors),
+            };
+            if code != 0 {
+                counts_as.fetch_add(1, Ordering::Relaxed);
+                let frame = Frame::Error {
+                    code,
+                    message: err.to_string(),
+                }
+                .encode();
+                shared.kill(Some(frame));
+            } else {
+                shared.kill(None);
+            }
+        }
+    }
+    let _ = writer.join();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Read one frame, honoring the read-tick timeout: `Ok(None)` means the
+/// tick elapsed with no complete frame (check flags and keep going).
+fn read_tick(
+    mut stream: &TcpStream,
+    buf: &mut FrameBuffer,
+    scratch: &mut [u8],
+) -> Result<Option<(u8, Vec<u8>)>> {
+    if let Some(frame) = buf.try_frame()? {
+        return Ok(Some(frame));
+    }
+    match stream.read(scratch) {
+        Ok(0) => Err(NetError::Closed),
+        Ok(n) => {
+            buf.extend(&scratch[..n]);
+            buf.try_frame()
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Ok(None)
+        }
+        Err(e) => Err(NetError::Io(e)),
+    }
+}
+
+fn serve_client(
+    stream: &TcpStream,
+    collab: &CollabServer,
+    config: &NetConfig,
+    shared: &Arc<ConnShared>,
+    stats: &Arc<StatCells>,
+) -> Result<()> {
+    stream.set_read_timeout(Some(config.read_tick))?;
+    let mut buf = FrameBuffer::default();
+    let mut scratch = vec![0u8; 64 * 1024];
+
+    // --- Handshake: the first frame must be Hello. -------------------
+    let hello = loop {
+        if shared.is_dead() {
+            return Ok(());
+        }
+        if let Some((tag, payload)) = read_tick(stream, &mut buf, &mut scratch)? {
+            break Frame::decode(tag, &payload)?;
+        }
+    };
+    let Frame::Hello {
+        version,
+        user,
+        platform,
+        token,
+    } = hello
+    else {
+        return Err(NetError::Protocol(format!(
+            "expected Hello, got frame 0x{:02x}",
+            hello.tag()
+        )));
+    };
+    if version != PROTOCOL_VERSION {
+        return Err(NetError::Auth(format!(
+            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    if let Some(required) = &config.token {
+        if &token != required {
+            return Err(NetError::Auth("bad token".into()));
+        }
+    }
+    let session: EditorSession = collab
+        .connect(&user, platform_from_wire(&platform))
+        .map_err(|e| NetError::Auth(format!("unknown user {user:?}: {e}")))?;
+    let session_id = session.id();
+    shared.queue.push_critical(
+        Frame::Welcome {
+            session: session_id.0,
+        }
+        .encode(),
+        config.critical_send_timeout,
+    )?;
+
+    // --- Main loop. --------------------------------------------------
+    let mut subs: HashMap<DocId, SubState> = HashMap::new();
+    let critical = |frame: Frame| -> Result<()> {
+        shared
+            .queue
+            .push_critical(frame.encode(), config.critical_send_timeout)
+    };
+
+    let run = loop {
+        if shared.is_dead() {
+            break Ok(());
+        }
+        // The forwarders count lag; the reader enforces the limit so the
+        // error frame is produced exactly once.
+        if shared.queue.lagged() > config.lag_limit {
+            break Err(NetError::SlowConsumer);
+        }
+        let frame = match read_tick(stream, &mut buf, &mut scratch) {
+            Ok(None) => continue,
+            Ok(Some((tag, payload))) => Frame::decode(tag, &payload)?,
+            Err(e) => break Err(e),
+        };
+        match frame {
+            Frame::Subscribe { name } => {
+                let doc = match collab.textdb().document_by_name(&name) {
+                    Ok(doc) => doc,
+                    Err(e) => {
+                        critical(Frame::Error {
+                            code: codes::NOT_FOUND,
+                            message: format!("no document {name:?}: {e}"),
+                        })?;
+                        continue;
+                    }
+                };
+                if subs.contains_key(&doc) {
+                    match db_snapshot(collab, doc, session.user()) {
+                        Some(f) => critical(f)?,
+                        None => critical(Frame::Error {
+                            code: codes::REJECTED,
+                            message: format!("cannot snapshot {name:?}"),
+                        })?,
+                    }
+                    continue;
+                }
+                // Order matters: the forwarder's event source connects
+                // *before* the snapshot is taken, so no committed event
+                // can fall between them — events older than the snapshot
+                // are dropped client-side by the ts gate.
+                let source = collab.transport().connect(doc, Duration::ZERO);
+                let editor = match session.open_id(doc) {
+                    Ok(ed) => ed,
+                    Err(e) => {
+                        critical(Frame::Error {
+                            code: codes::REJECTED,
+                            message: format!("cannot open {name:?}: {e}"),
+                        })?;
+                        continue;
+                    }
+                };
+                critical(snapshot_frame(&editor))?;
+                let stop = Arc::new(AtomicBool::new(false));
+                let pump = spawn_forwarder(
+                    doc,
+                    source,
+                    Arc::clone(shared),
+                    Arc::clone(&stop),
+                    collab.clone(),
+                    session.user(),
+                    config.clone(),
+                    Arc::clone(stats),
+                );
+                subs.insert(
+                    doc,
+                    SubState {
+                        editor,
+                        stop,
+                        pump: Some(pump),
+                    },
+                );
+            }
+            Frame::Unsubscribe { doc } => {
+                if let Some(sub) = subs.remove(&DocId(doc)) {
+                    sub.stop();
+                }
+            }
+            Frame::Edit { request, doc, op } => {
+                let Some(sub) = subs.get_mut(&DocId(doc)) else {
+                    critical(Frame::EditRejected {
+                        request,
+                        message: "not subscribed to this document".into(),
+                    })?;
+                    continue;
+                };
+                let ed = &mut sub.editor;
+                // Catch up on remote events so positions resolve against
+                // the freshest server state; client positions are
+                // advisory and clamped (they may race remote edits).
+                ed.sync();
+                let outcome = match op {
+                    EditOp::Insert { pos, text } => {
+                        let pos = (pos as usize).min(ed.len());
+                        ed.type_text(pos, &text)
+                    }
+                    EditOp::Delete { pos, len } => {
+                        let pos = (pos as usize).min(ed.len());
+                        let len = (len as usize).min(ed.len() - pos);
+                        ed.delete(pos, len)
+                    }
+                };
+                match outcome {
+                    Ok(receipt) => critical(Frame::EditOk {
+                        request,
+                        op: receipt.op.0,
+                        commit_ts: receipt.commit_ts,
+                    })?,
+                    Err(e) => critical(Frame::EditRejected {
+                        request,
+                        message: e.to_string(),
+                    })?,
+                }
+            }
+            Frame::Awareness {
+                doc,
+                cursor,
+                selection,
+            } => {
+                collab.presence_update(session_id, |p| {
+                    p.doc = Some(DocId(doc));
+                    p.cursor = cursor.map(|c| c as usize);
+                    p.selection = selection.map(|(a, b)| (a as usize, b as usize));
+                });
+            }
+            Frame::PresenceQuery { doc } => {
+                let entries = collab
+                    .editors_on(DocId(doc))
+                    .iter()
+                    .map(WirePresence::from)
+                    .collect();
+                critical(Frame::Presence { doc, entries })?;
+            }
+            Frame::Ping { nonce } => critical(Frame::Pong { nonce })?,
+            Frame::Resync { doc } => {
+                if !subs.contains_key(&DocId(doc)) {
+                    critical(Frame::Error {
+                        code: codes::NOT_FOUND,
+                        message: "not subscribed to this document".into(),
+                    })?;
+                    continue;
+                }
+                // The snapshot comes from a fresh database open, not the
+                // long-lived server-side editor: a fresh handle's
+                // `synced_ts` is the true current commit frontier,
+                // whereas the editor's only advances on full rebuilds.
+                match db_snapshot(collab, DocId(doc), session.user()) {
+                    Some(f) => critical(f)?,
+                    None => critical(Frame::Error {
+                        code: codes::REJECTED,
+                        message: "cannot snapshot document".into(),
+                    })?,
+                }
+            }
+            Frame::Bye => break Ok(()),
+            // Server-to-client frames arriving here are a violation.
+            other => {
+                break Err(NetError::Protocol(format!(
+                    "client may not send frame 0x{:02x}",
+                    other.tag()
+                )))
+            }
+        }
+    };
+
+    for (_, sub) in subs.drain() {
+        sub.stop();
+    }
+    collab.awareness().remove(session_id);
+    run
+}
+
+/// Spawn the per-subscription forwarder: pumps committed events from the
+/// in-process transport onto this connection's outbound queue.
+#[allow(clippy::too_many_arguments)]
+fn spawn_forwarder(
+    doc: DocId,
+    mut source: Box<dyn tendax_collab::EventSource>,
+    shared: Arc<ConnShared>,
+    stop: Arc<AtomicBool>,
+    collab: CollabServer,
+    user: tendax_text::UserId,
+    config: NetConfig,
+    stats: Arc<StatCells>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("tendax-net-pump".into())
+        .spawn(move || {
+            // Once an event frame is dropped the client has a gap it
+            // cannot detect, so the stream is `lost`: further events are
+            // suppressed (each counted as lag) until a recovery snapshot
+            // is delivered, which resets the lag counter. A client that
+            // cannot absorb the recovery snapshot within the critical
+            // timeout — or whose outstanding lag passes `lag_limit`
+            // before recovery lands (the reader enforces that) — is cut.
+            let mut lost = false;
+            loop {
+                if stop.load(Ordering::Acquire) || shared.is_dead() {
+                    return;
+                }
+                for ev in source.poll_timeout(config.read_tick) {
+                    if lost {
+                        stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                        shared.queue.note_lag();
+                        continue;
+                    }
+                    let frame = Frame::Event(WireEvent::from(ev.as_ref())).encode();
+                    if shared.queue.try_push(frame) {
+                        stats.events_forwarded.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                        lost = true;
+                    }
+                }
+                // Evicted from the in-process bus (this pump itself
+                // lagged): resubscribe, then resync the client.
+                if source.lagged_out() {
+                    source = collab.transport().connect(doc, Duration::ZERO);
+                    lost = true;
+                }
+                if lost {
+                    let Some(snap) = db_snapshot(&collab, doc, user) else {
+                        continue;
+                    };
+                    match shared
+                        .queue
+                        .push_critical(snap.encode(), config.critical_send_timeout)
+                    {
+                        Ok(()) => {
+                            // The snapshot covers everything suppressed:
+                            // the client is consistent again.
+                            shared.queue.reset_lag();
+                            lost = false;
+                        }
+                        Err(_) => {
+                            // The client cannot even absorb the recovery
+                            // snapshot: cut it.
+                            stats.slow_disconnects.fetch_add(1, Ordering::Relaxed);
+                            shared.kill(Some(
+                                Frame::Error {
+                                    code: codes::SLOW_CONSUMER,
+                                    message: NetError::SlowConsumer.to_string(),
+                                }
+                                .encode(),
+                            ));
+                            return;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn forwarder thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_push_drops_and_counts_past_capacity() {
+        let q = OutQueue::new(2);
+        assert!(q.try_push(vec![1]));
+        assert!(q.try_push(vec![2]));
+        assert!(!q.try_push(vec![3]));
+        assert!(!q.try_push(vec![4]));
+        assert_eq!(q.lagged(), 2);
+        // Draining frees capacity again.
+        assert_eq!(q.pop(), Some(vec![1]));
+        assert!(q.try_push(vec![5]));
+    }
+
+    #[test]
+    fn push_critical_times_out_on_full_queue() {
+        let q = OutQueue::new(1);
+        q.push_critical(vec![1], Duration::from_millis(10)).unwrap();
+        match q.push_critical(vec![2], Duration::from_millis(10)) {
+            Err(NetError::SlowConsumer) => {}
+            other => panic!("expected SlowConsumer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_discards_queue_and_emits_final_frame() {
+        let q = OutQueue::new(8);
+        assert!(q.try_push(vec![1]));
+        assert!(q.try_push(vec![2]));
+        q.kill(Some(vec![9]));
+        assert!(!q.try_push(vec![3]));
+        assert!(matches!(
+            q.push_critical(vec![4], Duration::from_millis(5)),
+            Err(NetError::Closed)
+        ));
+        assert_eq!(q.pop(), Some(vec![9]));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_unblocks_on_concurrent_push() {
+        let q = Arc::new(OutQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(q.try_push(vec![7]));
+        assert_eq!(h.join().unwrap(), Some(vec![7]));
+    }
+}

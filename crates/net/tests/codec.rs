@@ -1,0 +1,279 @@
+//! Wire-codec conformance: every frame type round-trips through
+//! encode → FrameBuffer → decode, and every class of malformed input
+//! yields a typed error — never a panic, never a silent misparse.
+
+use tendax_net::{
+    codes, EditOp, Frame, FrameBuffer, NetError, WireChar, WireEvent, WirePresence,
+    PROTOCOL_VERSION,
+};
+use tendax_text::{CharId, DocId, Effect, StyleId, UserId};
+
+/// One exemplar of every frame variant, with awkward values: empty and
+/// non-ASCII strings, `None`/`Some` options, empty and multi-element
+/// vectors, extreme integers.
+fn exemplars() -> Vec<Frame> {
+    let effects = vec![
+        Effect::Insert {
+            char: CharId(42),
+            prev: None,
+            ch: '𝄞',
+            author: UserId(7),
+            ts: -3,
+            style: StyleId(2),
+            src_doc: DocId(9),
+            src_char: CharId(41),
+            external: Some("clipboard://x".into()),
+        },
+        Effect::Insert {
+            char: CharId(43),
+            prev: Some(CharId(42)),
+            ch: 'b',
+            author: UserId(7),
+            ts: 4,
+            style: StyleId::NONE,
+            src_doc: DocId::NONE,
+            src_char: CharId::NONE,
+            external: None,
+        },
+        Effect::Delete {
+            char: CharId(42),
+            by: UserId(8),
+            ts: i64::MAX,
+        },
+        Effect::Undelete { char: CharId(42) },
+        Effect::SetStyle {
+            char: CharId(43),
+            old: StyleId(2),
+            new: StyleId(3),
+        },
+    ];
+    vec![
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+            user: "alicé".into(),
+            platform: "Windows XP".into(),
+            token: String::new(),
+        },
+        Frame::Welcome { session: u64::MAX },
+        Frame::Error {
+            code: codes::SLOW_CONSUMER,
+            message: "déconnecté".into(),
+        },
+        Frame::Subscribe {
+            name: "minutes".into(),
+        },
+        Frame::Snapshot {
+            doc: 3,
+            synced_ts: 77,
+            chars: vec![
+                WireChar {
+                    id: 1,
+                    ch: 'a',
+                    deleted: false,
+                    style: 0,
+                },
+                WireChar {
+                    id: 2,
+                    ch: '∂',
+                    deleted: true,
+                    style: 5,
+                },
+            ],
+        },
+        Frame::Snapshot {
+            doc: 4,
+            synced_ts: 0,
+            chars: vec![],
+        },
+        Frame::Unsubscribe { doc: 3 },
+        Frame::Edit {
+            request: 1,
+            doc: 3,
+            op: EditOp::Insert {
+                pos: 0,
+                text: "héllo\nworld".into(),
+            },
+        },
+        Frame::Edit {
+            request: 2,
+            doc: 3,
+            op: EditOp::Delete { pos: 5, len: 2 },
+        },
+        Frame::EditOk {
+            request: 2,
+            op: 900,
+            commit_ts: 901,
+        },
+        Frame::EditRejected {
+            request: 3,
+            message: "permission denied".into(),
+        },
+        Frame::Event(WireEvent {
+            doc: 3,
+            op: 900,
+            commit_ts: 901,
+            user: 7,
+            origin: 12,
+            kind: "insert".into(),
+            effects,
+        }),
+        Frame::Event(WireEvent {
+            doc: 3,
+            op: 901,
+            commit_ts: 902,
+            user: 7,
+            origin: 12,
+            kind: String::new(),
+            effects: vec![],
+        }),
+        Frame::Awareness {
+            doc: 3,
+            cursor: Some(14),
+            selection: Some((3, 14)),
+        },
+        Frame::Awareness {
+            doc: 3,
+            cursor: None,
+            selection: None,
+        },
+        Frame::PresenceQuery { doc: 3 },
+        Frame::Presence {
+            doc: 3,
+            entries: vec![WirePresence {
+                session: 12,
+                user: 7,
+                user_name: "alicé".into(),
+                platform: "Mac OS X".into(),
+                doc: Some(3),
+                cursor: Some(14),
+                selection: None,
+                last_active: -1,
+            }],
+        },
+        Frame::Ping { nonce: 0 },
+        Frame::Pong { nonce: u64::MAX },
+        Frame::Resync { doc: 3 },
+        Frame::Bye,
+    ]
+}
+
+#[test]
+fn every_frame_type_round_trips() {
+    for frame in exemplars() {
+        let bytes = frame.encode();
+        let mut fb = FrameBuffer::default();
+        fb.extend(&bytes);
+        let (tag, payload) = fb
+            .try_frame()
+            .expect("framing")
+            .expect("one complete frame");
+        assert_eq!(tag, frame.tag());
+        let decoded = Frame::decode(tag, &payload).expect("decode");
+        assert_eq!(decoded, frame, "round-trip mismatch for tag 0x{tag:02x}");
+        assert_eq!(fb.try_frame().unwrap(), None, "no trailing frame");
+    }
+}
+
+#[test]
+fn frames_survive_arbitrary_stream_fragmentation() {
+    // All exemplars concatenated, delivered in 7-byte slivers.
+    let mut wire = Vec::new();
+    for f in exemplars() {
+        wire.extend_from_slice(&f.encode());
+    }
+    let mut fb = FrameBuffer::default();
+    let mut decoded = Vec::new();
+    for chunk in wire.chunks(7) {
+        fb.extend(chunk);
+        while let Some((tag, payload)) = fb.try_frame().unwrap() {
+            decoded.push(Frame::decode(tag, &payload).unwrap());
+        }
+    }
+    assert_eq!(decoded, exemplars());
+}
+
+#[test]
+fn truncated_payloads_are_typed_errors_for_every_frame() {
+    for frame in exemplars() {
+        let bytes = frame.encode();
+        let payload = &bytes[5..]; // strip [len][tag]
+        if payload.is_empty() {
+            continue; // Bye has no payload to truncate
+        }
+        // Chop the payload at every possible point; decode must return
+        // an error (truncation or a bad-payload artifact of the cut),
+        // never panic, and never accept the mutilated payload.
+        for cut in 0..payload.len() {
+            match Frame::decode(frame.tag(), &payload[..cut]) {
+                Err(
+                    NetError::Truncated { .. }
+                    | NetError::BadPayload { .. }
+                    | NetError::Protocol(_),
+                ) => {}
+                Ok(f) => panic!(
+                    "tag 0x{:02x} cut at {cut}/{} decoded as {f:?}",
+                    frame.tag(),
+                    payload.len()
+                ),
+                Err(e) => panic!("tag 0x{:02x} cut at {cut}: unexpected {e:?}", frame.tag()),
+            }
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected_for_every_frame() {
+    for frame in exemplars() {
+        let bytes = frame.encode();
+        let mut payload = bytes[5..].to_vec();
+        payload.push(0xAA);
+        match Frame::decode(frame.tag(), &payload) {
+            Err(NetError::BadPayload { .. } | NetError::Truncated { .. }) => {}
+            other => panic!(
+                "tag 0x{:02x} accepted trailing byte: {other:?}",
+                frame.tag()
+            ),
+        }
+    }
+}
+
+#[test]
+fn unknown_tag_is_a_typed_error() {
+    for tag in [0x00u8, 0x12, 0x7F, 0xFF] {
+        match Frame::decode(tag, &[]) {
+            Err(NetError::UnknownTag(t)) => assert_eq!(t, tag),
+            other => panic!("tag 0x{tag:02x}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn hostile_length_prefixes_kill_the_stream_with_typed_errors() {
+    // Oversized: rejected before allocation.
+    let mut fb = FrameBuffer::default();
+    fb.extend(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        fb.try_frame(),
+        Err(NetError::FrameTooLarge { .. })
+    ));
+
+    // Zero length: the tag byte is mandatory.
+    let mut fb = FrameBuffer::default();
+    fb.extend(&0u32.to_le_bytes());
+    assert!(matches!(fb.try_frame(), Err(NetError::EmptyFrame)));
+}
+
+#[test]
+fn mid_frame_cut_never_yields_a_frame() {
+    // A partial frame in the buffer (stream ended mid-frame) is simply
+    // "no frame yet"; the connection-level EOF turns it into Closed.
+    let bytes = Frame::Subscribe {
+        name: "minutes".into(),
+    }
+    .encode();
+    for cut in 0..bytes.len() {
+        let mut fb = FrameBuffer::default();
+        fb.extend(&bytes[..cut]);
+        assert_eq!(fb.try_frame().unwrap(), None, "cut at {cut}");
+    }
+}

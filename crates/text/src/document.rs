@@ -145,6 +145,22 @@ impl DocHandle {
         self.chain.total_len()
     }
 
+    /// The full chain in order — tombstones included — as
+    /// `(id, ch, deleted, style)` tuples. This is the wire snapshot a
+    /// remote replica needs to mirror the document: committed effects
+    /// anchor on chain predecessors that may themselves be tombstoned,
+    /// so a live-text-only snapshot could not replay them.
+    pub fn snapshot_chars(&self) -> Vec<(CharId, char, bool, StyleId)> {
+        self.chain
+            .iter_total()
+            .into_iter()
+            .map(|id| {
+                let info = &self.cache[&id];
+                (id, info.ch, info.deleted, info.style)
+            })
+            .collect()
+    }
+
     /// Commit timestamp of the last full rebuild: remote events with a
     /// commit at or below this are already reflected in the cache.
     pub fn synced_ts(&self) -> tendax_storage::Ts {

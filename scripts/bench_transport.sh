@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the TCP transport benchmark (experiment N1) and append its
+# one-line JSON summary to bench_results/transport_echo.json (one line
+# per run, newest last), so wire-throughput regressions show up as a
+# diffable series.
+# Usage: scripts/bench_transport.sh [--test]   (--test: small quick run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p bench_results
+out="$PWD/bench_results/transport_echo.json"
+
+echo "==> cargo bench -p tendax-bench --bench transport_echo"
+# cargo runs the bench with the package dir as CWD; pass an absolute path.
+cargo bench -p tendax-bench --bench transport_echo -- --json "$out" "$@"
+
+echo "==> appended to bench_results/transport_echo.json:"
+tail -n 1 "$out"
