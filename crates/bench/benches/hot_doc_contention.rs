@@ -1,0 +1,255 @@
+//! Experiment **A9** — hot-document commit throughput under disjoint
+//! concurrent edits.
+//!
+//! N writers hammer ONE document at pairwise-adjacent but disjoint
+//! positions: the seed text alternates filler and landmark characters
+//! (`aAbBcCdD` for 8 writers), writer `2k` types immediately *before*
+//! landmark `k` and writer `2k+1` immediately *after* it. Every
+//! concurrent pair therefore writes the same landmark character row but
+//! disjoint link fields (`prev` vs `next`) — the adjacent-neighborhood
+//! shape that row-granularity first-committer-wins validation aborts
+//! even though the operations commute. With commutative
+//! chain-neighborhood validation these commits merge instead, so
+//! retries (and their O(doc) refresh rebuilds) disappear.
+//!
+//! Each writer is a *pinned-base* handle (`DocHandle::pin_base`): its
+//! edits are validated against the base version it last synced, the way
+//! a real replica's are — an editor generates an op against the state
+//! it sees, not against a server-side snapshot it has no way to hold.
+//! Paired writers alternate strictly (a turn token per pair), so every
+//! op commits against a base that predates the partner's last commit.
+//! Commit validation, not scheduler interleaving, therefore decides
+//! every op, which makes the contention deterministic on any core
+//! count: under first-committer-wins each paired writer's commit
+//! invalidates the other's base and forces a retry (plus the O(doc)
+//! refresh a real editor pays to re-anchor); under commutative
+//! validation both merge and the retry path is never taken.
+//!
+//! The hot region sits in the middle of a large document (the paper's
+//! scenario: many collaborators inside one real-sized text), so every
+//! aborted commit pays what a real editor pays: the retry itself plus
+//! an O(document) refresh to recompute positions — exactly the
+//! throughput burn this experiment measures.
+//!
+//! Reported: successful commits/s across all writers, total retries,
+//! and the engine's conflict/merge counter deltas. Not a criterion
+//! bench (thread orchestration, fresh database per run):
+//!
+//! ```text
+//! cargo bench -p tendax-bench --bench hot_doc_contention
+//! ```
+//!
+//! Pass `--test` for a quick smoke run and `--json <path>` to append one
+//! JSON summary line (consumed by `scripts/bench_hotdoc.sh`).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::Instant;
+
+use tendax_storage::{Database, DurabilityLevel, Options};
+use tendax_text::TextDb;
+
+const WRITERS: usize = 8;
+
+struct Config {
+    ops_per_writer: u64,
+    filler: usize,
+    quick: bool,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut quick = false;
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--test" => quick = true,
+            "--json" => json_path = args.next(),
+            _ => {} // --bench, filters, ... accepted and ignored
+        }
+    }
+    Config {
+        ops_per_writer: if quick { 150 } else { 1_000 },
+        filler: if quick { 2_000 } else { 10_000 },
+        quick,
+        json_path,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tendax-bench-hotdoc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn main() {
+    let cfg = parse_args();
+    let pairs = WRITERS / 2;
+
+    let path = tmp("hotdoc.wal");
+    let opts = Options {
+        durability: DurabilityLevel::None,
+        ..Options::default()
+    };
+    let db = Database::open(&path, opts).expect("open");
+    let tdb = TextDb::init(db.clone()).expect("init textdb");
+
+    let users: Vec<_> = (0..WRITERS)
+        .map(|k| tdb.create_user(&format!("w{k}")).expect("user"))
+        .collect();
+    let doc = tdb.create_document("hot", users[0]).expect("doc");
+
+    // The hot region alternates filler and landmark chars: "aAbBcCdD"
+    // for 4 pairs. Writer 2k edits just before landmark k, writer 2k+1
+    // just after it; filler chars keep the pairs' own typed runs from
+    // touching a *neighboring* pair's landmark row at bootstrap. The
+    // region is embedded mid-document between large filler slabs so a
+    // post-conflict refresh costs what it costs on a real document.
+    let hot: String = (0..pairs)
+        .flat_map(|k| {
+            [
+                (b'a' + k as u8) as char, // filler
+                (b'A' + k as u8) as char, // landmark k
+            ]
+        })
+        .collect();
+    let seed = format!(
+        "{}{}{}",
+        "z".repeat(cfg.filler),
+        hot,
+        "z".repeat(cfg.filler)
+    );
+    {
+        let mut h = tdb.open(doc, users[0]).expect("open seed");
+        h.insert_text(0, &seed).expect("seed text");
+    }
+
+    // Each writer gets its own handle and the CharId of its landmark:
+    // positions are recomputed from the landmark after every refresh, so
+    // a writer never needs to know what the others typed.
+    let mut handles = Vec::new();
+    for (k, &user) in users.iter().enumerate() {
+        let mut h = tdb.open(doc, user).expect("open writer");
+        h.pin_base(true);
+        let landmark_pos = cfg.filler + (k / 2) * 2 + 1;
+        let landmark = h.char_at(landmark_pos).expect("landmark id");
+        handles.push((h, landmark, k % 2 == 1)); // (handle, anchor, after?)
+    }
+
+    // One turn token per pair: writers 2k and 2k+1 alternate strictly,
+    // so each op's base version predates the partner's newest commit.
+    let turns: Vec<Arc<(Mutex<usize>, Condvar)>> = (0..pairs)
+        .map(|_| Arc::new((Mutex::new(0), Condvar::new())))
+        .collect();
+
+    let before = db.stats();
+    let retries = Arc::new(AtomicU64::new(0));
+    let start = Arc::new(Barrier::new(WRITERS + 1));
+    let threads: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(k, (mut h, landmark, after))| {
+            let retries = retries.clone();
+            let start = start.clone();
+            let turn = turns[k / 2].clone();
+            let role = k % 2;
+            let ops = cfg.ops_per_writer;
+            let text = char::from_digit(k as u32, 10).unwrap().to_string();
+            std::thread::spawn(move || {
+                start.wait();
+                for _ in 0..ops {
+                    let (lock, cv) = &*turn;
+                    let mut t = lock.lock().unwrap();
+                    while *t % 2 != role {
+                        t = cv.wait(t).unwrap();
+                    }
+                    loop {
+                        let caret = h.caret_after(landmark).expect("landmark lost");
+                        let pos = if after { caret } else { caret - 1 };
+                        match h.insert_text(pos, &text) {
+                            Ok(_) => break,
+                            Err(e) if e.is_retryable() => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                h.refresh().expect("refresh");
+                            }
+                            Err(e) => panic!("writer {k}: insert failed: {e}"),
+                        }
+                    }
+                    *t += 1;
+                    cv.notify_one();
+                }
+            })
+        })
+        .collect();
+    start.wait();
+    let t0 = Instant::now();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let after = db.stats();
+    let total_commits = WRITERS as u64 * cfg.ops_per_writer;
+    let commits_per_s = total_commits as f64 / elapsed;
+    let total_retries = retries.load(Ordering::Relaxed);
+    let conflicts = after.conflicts - before.conflicts;
+    let merged = after.commits_merged - before.commits_merged;
+    let merge_fields = after.merge_fields_applied - before.merge_fields_applied;
+    let true_overlap = after.write_conflicts_true_overlap - before.write_conflicts_true_overlap;
+
+    // Convergence sanity: a fresh open must see every writer's chars.
+    let fresh = tdb.open(doc, users[0]).expect("reopen");
+    let text = fresh.text();
+    assert_eq!(
+        text.len(),
+        seed.len() + total_commits as usize,
+        "document lost or duplicated characters"
+    );
+    for k in 0..WRITERS {
+        let c = char::from_digit(k as u32, 10).unwrap();
+        let got = text.chars().filter(|&x| x == c).count() as u64;
+        assert_eq!(got, cfg.ops_per_writer, "writer {k} chars missing");
+    }
+
+    println!(
+        "{:>8} writers  {:>8} ops/writer  {:>12.0} commits/s  {:>8} retries",
+        WRITERS, cfg.ops_per_writer, commits_per_s, total_retries
+    );
+    println!(
+        "conflicts {conflicts}  merged {merged}  merge_fields {merge_fields}  true_overlap {true_overlap}"
+    );
+
+    if let Some(path) = cfg.json_path {
+        let fields: Vec<String> = vec![
+            format!("\"writers\":{WRITERS}"),
+            format!("\"ops_per_writer\":{}", cfg.ops_per_writer),
+            format!("\"doc_seed_len\":{}", seed.len()),
+            format!("\"quick\":{}", cfg.quick),
+            format!(
+                "\"cores\":{}",
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            ),
+            format!("\"commits_per_s\":{commits_per_s:.0}"),
+            format!("\"retries\":{total_retries}"),
+            format!("\"conflicts\":{conflicts}"),
+            format!("\"commits_merged\":{merged}"),
+            format!("\"merge_fields_applied\":{merge_fields}"),
+            format!("\"conflicts_true_overlap\":{true_overlap}"),
+        ];
+        let line = format!("{{{}}}\n", fields.join(","));
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open json output");
+        f.write_all(line.as_bytes()).expect("write json");
+        println!("appended summary to {path}");
+    }
+}

@@ -1,7 +1,8 @@
 //! The collaboration server: sessions, presence, and the event bus.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use tendax_storage::MaintenanceOptions;
@@ -24,6 +25,10 @@ pub struct CollabServer {
     awareness: AwarenessRegistry,
     next_session: Arc<AtomicU64>,
     default_latency: Duration,
+    /// Commit retries per session, recorded by the editors' retry loops.
+    /// A hot document shows up here before it shows up anywhere else:
+    /// with commutative commits the counts should stay near zero.
+    retries: Arc<Mutex<BTreeMap<SessionId, u64>>>,
 }
 
 impl CollabServer {
@@ -40,6 +45,7 @@ impl CollabServer {
             awareness: AwarenessRegistry::new(),
             next_session: Arc::new(AtomicU64::new(1)),
             default_latency: Duration::ZERO,
+            retries: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -60,6 +66,7 @@ impl CollabServer {
             awareness: AwarenessRegistry::new(),
             next_session: Arc::new(AtomicU64::new(1)),
             default_latency,
+            retries: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -119,6 +126,36 @@ impl CollabServer {
             platform,
             latency,
         ))
+    }
+
+    /// Record one commit retry for `session` (called from the editors'
+    /// retry loops).
+    pub(crate) fn note_retry(&self, session: SessionId) {
+        *self
+            .retries
+            .lock()
+            .expect("retry registry poisoned")
+            .entry(session)
+            .or_insert(0) += 1;
+    }
+
+    /// Commit retries recorded for one session.
+    pub fn session_retries(&self, session: SessionId) -> u64 {
+        self.retries
+            .lock()
+            .expect("retry registry poisoned")
+            .get(&session)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Commit retries per session, for all sessions that retried at
+    /// least once.
+    pub fn retries_by_session(&self) -> BTreeMap<SessionId, u64> {
+        self.retries
+            .lock()
+            .expect("retry registry poisoned")
+            .clone()
     }
 
     /// Everyone currently connected.

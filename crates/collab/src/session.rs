@@ -417,9 +417,11 @@ impl EditorDoc {
     ) -> Result<(EditReceipt, EditReceipt)> {
         self.sync();
         dst.sync();
+        let mut last = None;
         for attempt in 0..EDIT_RETRIES {
             if attempt > 0 {
                 self.stats.retries += 1;
+                self.server.note_retry(self.session);
                 std::thread::sleep(backoff_delay(self.session, attempt));
                 self.sync();
                 dst.sync();
@@ -434,12 +436,13 @@ impl EditorDoc {
                     dst.publish("paste", &ins);
                     return Ok((del, ins));
                 }
-                Err(e) if e.is_retryable() => continue,
+                Err(e) if e.is_retryable() => last = Some(e),
                 Err(e) => return Err(e),
             }
         }
         Err(TextError::RetriesExhausted {
             attempts: EDIT_RETRIES,
+            last: last.map(Box::new),
         })
     }
 
@@ -468,9 +471,11 @@ impl EditorDoc {
     ) -> Result<(T, EditReceipt)> {
         let mut f = f;
         self.sync();
+        let mut last = None;
         for attempt in 0..EDIT_RETRIES {
             if attempt > 0 {
                 self.stats.retries += 1;
+                self.server.note_retry(self.session);
                 std::thread::sleep(backoff_delay(self.session, attempt));
                 self.sync();
                 self.handle.refresh()?;
@@ -481,12 +486,13 @@ impl EditorDoc {
                     self.publish(kind, &receipt);
                     return Ok((value, receipt));
                 }
-                Err(e) if e.is_retryable() => continue,
+                Err(e) if e.is_retryable() => last = Some(e),
                 Err(e) => return Err(e),
             }
         }
         Err(TextError::RetriesExhausted {
             attempts: EDIT_RETRIES,
+            last: last.map(Box::new),
         })
     }
 
@@ -496,9 +502,11 @@ impl EditorDoc {
         mut f: impl FnMut(&mut DocHandle) -> Result<EditReceipt>,
     ) -> Result<EditReceipt> {
         self.sync();
+        let mut last = None;
         for attempt in 0..EDIT_RETRIES {
             if attempt > 0 {
                 self.stats.retries += 1;
+                self.server.note_retry(self.session);
                 std::thread::sleep(backoff_delay(self.session, attempt));
                 self.sync();
                 self.handle.refresh()?;
@@ -509,12 +517,13 @@ impl EditorDoc {
                     self.publish(kind, &receipt);
                     return Ok(receipt);
                 }
-                Err(e) if e.is_retryable() => continue,
+                Err(e) if e.is_retryable() => last = Some(e),
                 Err(e) => return Err(e),
             }
         }
         Err(TextError::RetriesExhausted {
             attempts: EDIT_RETRIES,
+            last: last.map(Box::new),
         })
     }
 
@@ -532,9 +541,11 @@ impl EditorDoc {
     ) -> Result<(usize, EditReceipt)> {
         let anchor = self.capture_anchor(pos);
         self.sync();
+        let mut last = None;
         for attempt in 0..EDIT_RETRIES {
             if attempt > 0 {
                 self.stats.retries += 1;
+                self.server.note_retry(self.session);
                 std::thread::sleep(backoff_delay(self.session, attempt));
                 self.sync();
                 self.handle.refresh()?;
@@ -546,12 +557,13 @@ impl EditorDoc {
                     self.publish(kind, &receipt);
                     return Ok((at, receipt));
                 }
-                Err(e) if e.is_retryable() => continue,
+                Err(e) if e.is_retryable() => last = Some(e),
                 Err(e) => return Err(e),
             }
         }
         Err(TextError::RetriesExhausted {
             attempts: EDIT_RETRIES,
+            last: last.map(Box::new),
         })
     }
 
@@ -908,10 +920,13 @@ mod tests {
 
     /// Regression (retry livelock): the loop used to end with
     /// `last.expect("retry loop ran")`, surfacing whatever transient
-    /// error happened to be last. Exhaustion is now its own signal.
+    /// error happened to be last. Exhaustion is now its own signal —
+    /// carrying the final attempt's underlying error as its source, and
+    /// feeding the server's per-session retry registry.
     #[test]
     fn exhausted_retries_surface_retries_exhausted() {
-        let (_server, sa, _sb) = lan();
+        let (server, sa, _sb) = lan();
+        let session = sa.id();
         let mut da = sa.open("shared").unwrap();
         let doc = da.doc();
         let err = da
@@ -920,10 +935,18 @@ mod tests {
         assert_eq!(
             err,
             TextError::RetriesExhausted {
-                attempts: EDIT_RETRIES
+                attempts: EDIT_RETRIES,
+                last: Some(Box::new(TextError::StaleView(doc))),
             }
         );
+        let src = std::error::Error::source(&err).expect("carries a source");
+        assert!(src.to_string().contains("stale"));
         assert_eq!(da.stats().retries as usize, EDIT_RETRIES - 1);
+        assert_eq!(server.session_retries(session) as usize, EDIT_RETRIES - 1);
+        assert_eq!(
+            server.retries_by_session().get(&session).copied(),
+            Some((EDIT_RETRIES - 1) as u64)
+        );
     }
 
     /// Regression (stale-anchor panic): a remote event whose anchor the

@@ -11,10 +11,10 @@ use crate::clock::{Clock, ClockMode};
 use crate::commit::{CommitLatch, CommitSequencer};
 use crate::error::{Result, StorageError};
 use crate::maintenance::{MaintenanceOptions, MaintenanceTask};
-use crate::row::RowId;
+use crate::row::{Row, RowId};
 use crate::schema::{Catalog, TableDef, TableId};
-use crate::table::{TableStore, Ts, VersionOp};
-use crate::txn::{validate_writes, Transaction, TxnId, WriteOp};
+use crate::table::{TableStore, Ts, VersionOp, WriteDescriptor, TS_LATEST};
+use crate::txn::{validate_writes, MergePlan, Transaction, TxnId, WriteOp};
 use crate::vfs::{os_vfs, Vfs};
 use crate::wal::{DurabilityLevel, GroupWal, WalFile, WalOp, WalRecord, WalTicket, WalWrite};
 
@@ -92,6 +92,18 @@ pub struct Stats {
     /// DDL / checkpoint quiesces that had to wait for in-flight
     /// commits to drain.
     pub ddl_stalls: u64,
+    /// Commits that would have aborted under row-granularity
+    /// first-committer-wins but merged cleanly because every conflicting
+    /// write carried a non-overlapping chain-neighborhood descriptor.
+    pub commits_merged: u64,
+    /// Individual row fields composed onto newer committed versions by
+    /// merged commits.
+    pub merge_fields_applied: u64,
+    /// Write conflicts where descriptor-granularity validation was
+    /// consulted and still found a true overlap (shared field, shared
+    /// anchor, or a concurrent delete) — the aborts that remain
+    /// semantically necessary. Always ≤ `conflicts`.
+    pub write_conflicts_true_overlap: u64,
 }
 
 /// Per-table statistics (monitoring, planner diagnostics).
@@ -118,6 +130,9 @@ struct Counters {
     maintenance_vacuums: AtomicU64,
     maintenance_checkpoints: AtomicU64,
     versions_pruned: AtomicU64,
+    commits_merged: AtomicU64,
+    merge_fields_applied: AtomicU64,
+    true_overlap_conflicts: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -150,6 +165,9 @@ pub(crate) struct DbInner {
     path: Option<PathBuf>,
     /// Background maintenance thread, if started.
     maintenance: Mutex<Option<MaintenanceTask>>,
+    /// Highest vacuum horizon ever applied: versions visible strictly
+    /// below it may be pruned, so `begin_at` refuses older snapshots.
+    vacuum_floor: AtomicU64,
 }
 
 impl Drop for DbInner {
@@ -192,6 +210,7 @@ impl Database {
                 counters: Counters::default(),
                 path,
                 maintenance: Mutex::new(None),
+                vacuum_floor: AtomicU64::new(0),
             }),
         }
     }
@@ -256,14 +275,43 @@ impl Database {
                         let store = tables
                             .get(&w.table)
                             .ok_or(StorageError::UnknownTableId(w.table))?;
-                        let op = match w.op {
+                        let (op, desc) = match w.op {
                             WalOp::Put(row) => {
                                 self.observe_row_clock(row.values());
-                                VersionOp::Put(row)
+                                (VersionOp::Put(row), None)
                             }
-                            WalOp::Delete => VersionOp::Delete,
+                            WalOp::Delete => (VersionOp::Delete, None),
+                            // Compose the logged delta onto the row's
+                            // newest replayed state: this is commit order,
+                            // so the result is exactly the merged row the
+                            // commit published — and a torn log replays
+                            // the surviving prefix of merges faithfully.
+                            WalOp::Patch {
+                                fields,
+                                values,
+                                anchors,
+                            } => {
+                                self.observe_row_clock(&values);
+                                let guard = store.read();
+                                let base =
+                                    guard.visible(w.row, TS_LATEST).cloned().ok_or_else(|| {
+                                        StorageError::Internal(format!(
+                                            "WAL patch for row {:?} with no base version",
+                                            w.row
+                                        ))
+                                    })?;
+                                drop(guard);
+                                let mut merged = Row::clone(&base);
+                                for (&pos, val) in fields.iter().zip(values) {
+                                    merged.set(pos as usize, val);
+                                }
+                                (
+                                    VersionOp::Put(merged.into_shared()),
+                                    Some(Arc::new(WriteDescriptor::new(anchors, fields))),
+                                )
+                            }
                         };
-                        store.write().apply(w.row, commit_ts, op);
+                        store.write().apply_described(w.row, commit_ts, op, desc);
                     }
                     self.inner.sequencer.observe(commit_ts);
                 }
@@ -282,6 +330,13 @@ impl Database {
                             VersionOp::Put(r)
                         }
                         WalOp::Delete => VersionOp::Delete,
+                        // Checkpoints compact to full rows; a patch here
+                        // means the log writer and reader disagree.
+                        WalOp::Patch { .. } => {
+                            return Err(StorageError::Internal(
+                                "snapshot row cannot be a patch".into(),
+                            ))
+                        }
                     };
                     store.write().apply(row, commit_ts, op);
                     self.inner.sequencer.observe(commit_ts);
@@ -382,6 +437,35 @@ impl Database {
         Transaction::new(self.clone(), id, snapshot)
     }
 
+    /// Begin a transaction pinned to an explicit snapshot timestamp —
+    /// the base version a disconnected or lagging replica last synced.
+    /// Reads see the database as of `snapshot` (clamped to the current
+    /// watermark), and first-committer-wins validation runs against that
+    /// base, so commutative-descriptor writes merge across everything
+    /// committed since. Fails with [`StorageError::SnapshotTooOld`] if
+    /// vacuum has already pruned versions the snapshot is entitled to.
+    pub fn begin_at(&self, snapshot: Ts) -> Result<Transaction> {
+        let id = TxnId(self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed));
+        let snapshot = {
+            let mut active = self.inner.active.lock();
+            let snapshot = snapshot.min(self.inner.sequencer.watermark());
+            // Checked under the `active` lock for the same reason as
+            // `begin`: vacuum computes its horizon (and raises the
+            // floor) under this lock, so the floor cannot overtake a
+            // snapshot between the check and registration.
+            let floor = self.inner.vacuum_floor.load(Ordering::Relaxed);
+            if snapshot < floor {
+                return Err(StorageError::SnapshotTooOld {
+                    requested: snapshot,
+                    floor,
+                });
+            }
+            active.insert(id, snapshot);
+            snapshot
+        };
+        Ok(Transaction::new(self.clone(), id, snapshot))
+    }
+
     pub(crate) fn abort_txn(&self, id: TxnId, counts_as_abort: bool) {
         self.inner.active.lock().remove(&id);
         if counts_as_abort {
@@ -418,22 +502,39 @@ impl Database {
             hs
         };
         let mut guards: Vec<_> = handles.iter().map(|(_, h)| h.write()).collect();
-        {
+        let plan: MergePlan = {
             let mut refs: BTreeMap<TableId, &mut TableStore> = BTreeMap::new();
             for ((tid, _), guard) in handles.iter().zip(guards.iter_mut()) {
                 refs.insert(*tid, &mut **guard);
             }
-            let check = validate_writes(&writes, &created, txn.snapshot_ts(), txn.id(), &refs);
-            if let Err(e) = check {
-                if matches!(e, StorageError::WriteConflict { .. }) {
-                    self.inner
-                        .counters
-                        .conflicts
-                        .fetch_add(1, Ordering::Relaxed);
+            let mut true_overlap = false;
+            let check = validate_writes(
+                &writes,
+                &created,
+                txn.snapshot_ts(),
+                txn.id(),
+                &refs,
+                &mut true_overlap,
+            );
+            match check {
+                Ok(plan) => plan,
+                Err(e) => {
+                    if matches!(e, StorageError::WriteConflict { .. }) {
+                        self.inner
+                            .counters
+                            .conflicts
+                            .fetch_add(1, Ordering::Relaxed);
+                        if true_overlap {
+                            self.inner
+                                .counters
+                                .true_overlap_conflicts
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    return Err(e);
                 }
-                return Err(e);
             }
-        }
+        };
 
         // The timestamp is allocated only *after* validation: a commit
         // that fails first-committer-wins never occupies a slot in the
@@ -480,12 +581,31 @@ impl Database {
         let wal_writes: Vec<WalWrite> = writes
             .iter()
             .flat_map(|(&table, ws)| {
+                let plan = &plan;
                 ws.iter().map(move |(&row, op)| WalWrite {
                     table,
                     row,
                     op: match op {
                         WriteOp::Put(r) => WalOp::Put(r.clone()),
                         WriteOp::Delete => WalOp::Delete,
+                        // A patch logs only its delta (columns + anchors):
+                        // replay composes it onto the row's then-newest
+                        // state, which reproduces the merge outcome in
+                        // commit order even if only a prefix of the log
+                        // survives a crash. Values are taken from the
+                        // merged row so the frame equals what published.
+                        WriteOp::Patch { row: r, desc } => {
+                            let eff = plan.rewrites.get(&(table, row)).unwrap_or(r);
+                            WalOp::Patch {
+                                fields: desc.fields.clone(),
+                                values: desc
+                                    .fields
+                                    .iter()
+                                    .map(|&p| eff.values()[p as usize].clone())
+                                    .collect(),
+                                anchors: desc.anchors.clone(),
+                            }
+                        }
                     },
                 })
             })
@@ -502,13 +622,31 @@ impl Database {
                 .get(tid)
                 .expect("handle exists only for written table");
             for (&rid, op) in ws {
-                let vop = match op {
+                let (vop, desc) = match op {
                     // Same shared allocation the WAL record holds.
-                    WriteOp::Put(r) => VersionOp::Put(r.clone()),
-                    WriteOp::Delete => VersionOp::Delete,
+                    WriteOp::Put(r) => (VersionOp::Put(r.clone()), None),
+                    WriteOp::Delete => (VersionOp::Delete, None),
+                    // Publish the merged row when validation rewrote the
+                    // patch, and keep the descriptor on the version either
+                    // way: later laggards merge across *this* commit by
+                    // reading it.
+                    WriteOp::Patch { row: r, desc } => {
+                        let eff = plan.rewrites.get(&(*tid, rid)).unwrap_or(r);
+                        (VersionOp::Put(eff.clone()), Some(desc.clone()))
+                    }
                 };
-                guard.apply(rid, commit_ts, vop);
+                guard.apply_described(rid, commit_ts, vop, desc);
             }
+        }
+        if !plan.rewrites.is_empty() {
+            self.inner
+                .counters
+                .commits_merged
+                .fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .counters
+                .merge_fields_applied
+                .fetch_add(plan.fields_applied, Ordering::Relaxed);
         }
         // Past this point the commit cannot be retracted: its versions
         // are visible to new snapshots once the watermark folds them in.
@@ -620,11 +758,18 @@ impl Database {
     pub fn vacuum(&self) -> usize {
         let horizon = {
             let active = self.inner.active.lock();
-            active
+            let horizon = active
                 .values()
                 .copied()
                 .min()
-                .unwrap_or_else(|| self.inner.sequencer.watermark())
+                .unwrap_or_else(|| self.inner.sequencer.watermark());
+            // Record the floor while still holding `active`, so a
+            // concurrent `begin_at` cannot slip a pinned snapshot under
+            // the horizon this vacuum is about to prune to.
+            self.inner
+                .vacuum_floor
+                .fetch_max(horizon, Ordering::Relaxed);
+            horizon
         };
         let tables = self.inner.tables.read();
         let mut pruned = 0;
@@ -809,6 +954,17 @@ impl Database {
                 + self.inner.sequencer.visibility_wait_ns(),
             watermark_lag_max: self.inner.sequencer.lag_max(),
             ddl_stalls: self.inner.commit_latch.exclusive_stalls(),
+            commits_merged: self.inner.counters.commits_merged.load(Ordering::Relaxed),
+            merge_fields_applied: self
+                .inner
+                .counters
+                .merge_fields_applied
+                .load(Ordering::Relaxed),
+            write_conflicts_true_overlap: self
+                .inner
+                .counters
+                .true_overlap_conflicts
+                .load(Ordering::Relaxed),
         }
     }
 

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::schema::TableId;
+use crate::table::Ts;
 use crate::txn::TxnId;
 use crate::value::DataType;
 
@@ -41,6 +42,9 @@ pub enum StorageError {
     /// Write-write conflict: another transaction committed a newer version
     /// of a row this transaction wrote. First committer wins.
     WriteConflict { table: String, txn: TxnId },
+    /// `begin_at` asked for a snapshot older than the vacuum floor:
+    /// versions it would need to read may already be pruned.
+    SnapshotTooOld { requested: Ts, floor: Ts },
     /// The transaction has already been committed or aborted.
     TxnClosed(TxnId),
     /// The write-ahead log contained a corrupt record.
@@ -92,6 +96,12 @@ impl fmt::Display for StorageError {
             }
             StorageError::WriteConflict { table, txn } => {
                 write!(f, "write-write conflict in table `{table}` (txn {txn:?})")
+            }
+            StorageError::SnapshotTooOld { requested, floor } => {
+                write!(
+                    f,
+                    "snapshot {requested} is older than the vacuum floor {floor}"
+                )
             }
             StorageError::TxnClosed(id) => write!(f, "transaction {id:?} is already closed"),
             StorageError::WalCorrupt { offset, reason } => {

@@ -67,7 +67,7 @@ pub use maintenance::MaintenanceOptions;
 pub use query::{explain, plan_access, AccessPath, Predicate};
 pub use row::{Row, RowId, SharedRow};
 pub use schema::{ColumnDef, IndexDef, TableDef, TableId};
-pub use table::{Ts, TS_LATEST};
+pub use table::{Ts, WriteDescriptor, TS_LATEST};
 pub use txn::{Transaction, TxnId};
 pub use value::{DataType, Value};
 pub use vfs::{os_vfs, OsVfs, SimVfs, Vfs, VfsFile};

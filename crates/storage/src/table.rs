@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::{Result, StorageError};
 use crate::index::{IndexKey, IndexStore};
@@ -23,11 +24,75 @@ pub type Ts = u64;
 /// Visibility horizon that sees everything ever committed.
 pub const TS_LATEST: Ts = u64::MAX;
 
+/// A chain-neighborhood descriptor: what part of a row's *neighborhood*
+/// a write semantically touched, at finer granularity than the row.
+///
+/// The text layer tags each character-row write with the directed chain
+/// edges it rewires (`anchors`, encoded by the caller — e.g.
+/// `char_id << 1 | 1` for a character's *next* edge) and the column
+/// positions it set (`fields`). Two concurrent writes to the same row
+/// *commute* when neither their anchors nor their fields intersect —
+/// e.g. one splice updating a character's `prev` link while another
+/// updates its `next` — and commit validation merges them instead of
+/// aborting. Both vectors are kept sorted and deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WriteDescriptor {
+    /// Directed chain-edge tokens the write rewires.
+    pub anchors: Vec<u64>,
+    /// Column positions (schema order) the write set.
+    pub fields: Vec<u32>,
+}
+
+impl WriteDescriptor {
+    /// Build a descriptor, sorting and deduplicating both components.
+    pub fn new(mut anchors: Vec<u64>, mut fields: Vec<u32>) -> Self {
+        anchors.sort_unstable();
+        anchors.dedup();
+        fields.sort_unstable();
+        fields.dedup();
+        WriteDescriptor { anchors, fields }
+    }
+
+    /// Do two descriptors touch a common anchor or field?
+    pub fn overlaps(&self, other: &WriteDescriptor) -> bool {
+        sorted_intersect(&self.anchors, &other.anchors)
+            || sorted_intersect(&self.fields, &other.fields)
+    }
+
+    /// Fold `other` into `self` (union of anchors and fields).
+    pub fn merge_from(&mut self, other: &WriteDescriptor) {
+        self.anchors.extend_from_slice(&other.anchors);
+        self.anchors.sort_unstable();
+        self.anchors.dedup();
+        self.fields.extend_from_slice(&other.fields);
+        self.fields.sort_unstable();
+        self.fields.dedup();
+    }
+}
+
+/// Linear intersection test over two sorted slices.
+fn sorted_intersect<T: Ord>(a: &[T], b: &[T]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
 /// One committed version of a row.
 #[derive(Debug, Clone)]
 pub struct Version {
     pub commit_ts: Ts,
     pub op: VersionOp,
+    /// Chain-neighborhood descriptor of the write that produced this
+    /// version, when the writer supplied one. Later concurrent commits
+    /// whose descriptors don't overlap merge onto this version instead
+    /// of aborting.
+    pub desc: Option<Arc<WriteDescriptor>>,
 }
 
 /// What a version did to the row. Put versions hold a [`SharedRow`]: the
@@ -125,6 +190,18 @@ impl TableStore {
     /// Callers guarantee `ts` is greater than every timestamp already in the
     /// chain (commit order is serialized by the transaction manager).
     pub fn apply(&mut self, row: RowId, ts: Ts, op: VersionOp) {
+        self.apply_described(row, ts, op, None);
+    }
+
+    /// [`TableStore::apply`] with a chain-neighborhood descriptor
+    /// attached to the new version.
+    pub fn apply_described(
+        &mut self,
+        row: RowId,
+        ts: Ts,
+        op: VersionOp,
+        desc: Option<Arc<WriteDescriptor>>,
+    ) {
         debug_assert!(
             self.chains
                 .get(&row)
@@ -138,11 +215,25 @@ impl TableStore {
                 idx.insert(key, row);
             }
         }
-        self.chains
-            .entry(row)
-            .or_default()
-            .push(Version { commit_ts: ts, op });
+        self.chains.entry(row).or_default().push(Version {
+            commit_ts: ts,
+            op,
+            desc,
+        });
         self.observe_row_id(row);
+    }
+
+    /// Every version of `row` committed strictly after `ts`, in commit
+    /// order (the versions descriptor-granularity validation must prove
+    /// commutativity against).
+    pub fn versions_after(&self, row: RowId, ts: Ts) -> &[Version] {
+        match self.chains.get(&row) {
+            Some(chain) => {
+                let from = chain.partition_point(|v| v.commit_ts <= ts);
+                &chain[from..]
+            }
+            None => &[],
+        }
     }
 
     /// Iterate all rows visible at `ts`.

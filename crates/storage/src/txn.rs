@@ -26,7 +26,7 @@ use crate::index::IndexKey;
 use crate::query::Predicate;
 use crate::row::{Row, RowId, SharedRow};
 use crate::schema::TableId;
-use crate::table::{TableStore, Ts};
+use crate::table::{TableStore, Ts, Version, VersionOp, WriteDescriptor};
 use crate::value::Value;
 
 /// Transaction identifier (unique per database instance lifetime).
@@ -37,10 +37,34 @@ pub struct TxnId(pub u64);
 /// commit can hand the *same* allocation to the WAL encoder and the
 /// version store; the write set itself stays copy-on-write (updates to a
 /// buffered row materialize a fresh `Row` and swap the handle).
+///
+/// `Patch` is a described partial write ([`Transaction::set_with_anchors`]):
+/// the row is fully materialized against this transaction's snapshot (so
+/// reads-through behave exactly like a `Put`), but the descriptor records
+/// which columns were actually written and which chain-neighborhood
+/// anchors the edit logically touched. At commit, a `Patch` that lost the
+/// first-committer race can *merge* onto the newer committed version when
+/// the descriptors are disjoint, instead of aborting.
 #[derive(Debug, Clone)]
 pub(crate) enum WriteOp {
     Put(SharedRow),
     Delete,
+    Patch {
+        row: SharedRow,
+        desc: Arc<WriteDescriptor>,
+    },
+}
+
+impl WriteOp {
+    /// The row this write makes visible within its own transaction
+    /// (`None` for a delete). Patch rows are materialized, so snapshot
+    /// reads treat them exactly like puts.
+    pub(crate) fn row(&self) -> Option<&SharedRow> {
+        match self {
+            WriteOp::Put(r) | WriteOp::Patch { row: r, .. } => Some(r),
+            WriteOp::Delete => None,
+        }
+    }
 }
 
 /// A captured write-set state; see [`Transaction::savepoint`].
@@ -149,10 +173,8 @@ impl Transaction {
     pub fn get(&self, table: TableId, row: RowId) -> Result<Option<SharedRow>> {
         self.check_active()?;
         self.db.note_point_get();
-        match self.own_write(table, row) {
-            Some(WriteOp::Put(r)) => return Ok(Some(r.clone())),
-            Some(WriteOp::Delete) => return Ok(None),
-            None => {}
+        if let Some(op) = self.own_write(table, row) {
+            return Ok(op.row().cloned());
         }
         self.with_table(table, |t| t.visible(row, self.snapshot).cloned())
     }
@@ -178,7 +200,7 @@ impl Transaction {
         let mut merged = Vec::with_capacity(outcome.rows.len() + ws.len());
         let mut own = ws.iter().peekable();
         let emit_own = |rid: RowId, op: &WriteOp, out: &mut Vec<(RowId, SharedRow)>| {
-            if let WriteOp::Put(r) = op {
+            if let Some(r) = op.row() {
                 if pred.eval(&def, r)? {
                     out.push((rid, r.clone()));
                 }
@@ -275,10 +297,7 @@ impl Transaction {
                             })?;
                     Ok::<_, StorageError>(
                         ws.iter()
-                            .map(|(rid, op)| match op {
-                                WriteOp::Put(r) => (*rid, Some((idx.key_of(r), r.clone()))),
-                                WriteOp::Delete => (*rid, None),
-                            })
+                            .map(|(rid, op)| (*rid, op.row().map(|r| (idx.key_of(r), r.clone()))))
                             .collect(),
                     )
                 })??;
@@ -374,7 +393,7 @@ impl Transaction {
                         })?;
                 let mut best: Option<(IndexKey, RowId, SharedRow)> = None;
                 for (&rid, op) in ws {
-                    let WriteOp::Put(row) = op else { continue };
+                    let Some(row) = op.row() else { continue };
                     let key = idx.key_of(row);
                     if !key.starts_with(prefix) {
                         continue;
@@ -441,6 +460,77 @@ impl Transaction {
             current.set(pos, val.clone());
         }
         self.update(table, row, current)
+    }
+
+    /// Update named columns of an existing row and declare the write
+    /// *commutative* within its chain neighborhood.
+    ///
+    /// Like [`Transaction::set`], but the write is tagged with a
+    /// [`WriteDescriptor`]: the column positions actually written plus
+    /// the caller-chosen `anchors` (opaque tokens naming the logical
+    /// chain edges the edit depends on — the text layer uses
+    /// `char_id << 1 | side`). If another transaction commits a newer
+    /// described version of the same row before this one, commit
+    /// validation compares descriptors instead of aborting outright:
+    /// disjoint fields *and* disjoint anchors means the operations
+    /// commute, and this write's columns are replayed onto the newer
+    /// version (the later committer's delta merges). Overlap — or a
+    /// competing write with no descriptor — still aborts first-committer
+    /// -wins.
+    ///
+    /// Repeated described updates of the same row union their
+    /// descriptors. A row this transaction inserted, replaced wholesale,
+    /// or deleted stays a plain write (descriptors cannot make those
+    /// commute).
+    pub fn set_with_anchors(
+        &mut self,
+        table: TableId,
+        row: RowId,
+        updates: &[(&str, Value)],
+        anchors: &[u64],
+    ) -> Result<()> {
+        self.check_active()?;
+        let current = self.get(table, row)?.ok_or_else(|| self.not_found(table))?;
+        let mut new_row = Row::clone(&current);
+        let def = self.db.table_def(table)?;
+        let mut fields = Vec::with_capacity(updates.len());
+        for (col, val) in updates {
+            let pos = def.require_column(col)?;
+            new_row.set(pos, val.clone());
+            fields.push(pos as u32);
+        }
+        self.with_table(table, |t| t.definition().validate_row(new_row.values()))??;
+        let desc = WriteDescriptor::new(anchors.to_vec(), fields);
+        let is_created = self.created.contains(&(table, row));
+        use std::collections::btree_map::Entry;
+        match self.writes.entry(table).or_default().entry(row) {
+            Entry::Occupied(mut e) => match e.get_mut() {
+                // A row this transaction created or replaced wholesale is
+                // already a full write; folding the update in keeps it one.
+                WriteOp::Put(r) => *r = new_row.into_shared(),
+                // `get` above saw the row, so a buffered delete is impossible.
+                WriteOp::Delete => unreachable!("set_with_anchors after delete"),
+                WriteOp::Patch { row: r, desc: d } => {
+                    let mut merged = WriteDescriptor::clone(d);
+                    merged.merge_from(&desc);
+                    *r = new_row.into_shared();
+                    *d = Arc::new(merged);
+                }
+            },
+            Entry::Vacant(e) => {
+                if is_created {
+                    // Unreachable in practice (created rows always have a
+                    // buffered Put), but keep the invariant explicit.
+                    e.insert(WriteOp::Put(new_row.into_shared()));
+                } else {
+                    e.insert(WriteOp::Patch {
+                        row: new_row.into_shared(),
+                        desc: Arc::new(desc),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Delete a visible row.
@@ -564,40 +654,100 @@ fn range_contains(bounds: &(Bound<&IndexKey>, Bound<&IndexKey>), key: &IndexKey)
     lo_ok && hi_ok
 }
 
-/// Validation + publication, called by [`Database::commit_txn`] with the
-/// table write locks held. Split out for testability.
+/// The outcome of successful commit validation: which `Patch` writes must
+/// be rewritten (their columns replayed onto a newer committed version
+/// they merged with) before WAL staging and publication.
+#[derive(Debug, Default)]
+pub(crate) struct MergePlan {
+    /// `(table, row)` → the fully merged row to stage and publish in
+    /// place of the buffered one. Present only for described writes that
+    /// lost the first-committer race but commuted with every newer
+    /// version.
+    pub rewrites: BTreeMap<(TableId, RowId), SharedRow>,
+    /// Total descriptor fields replayed across all rewrites.
+    pub fields_applied: u64,
+}
+
+/// Validation, called by [`Database::commit_txn`] with the table write
+/// locks held. Split out for testability.
+///
+/// Plain `Put`/`Delete` writes keep exact first-committer-wins: any newer
+/// committed version of a written row aborts. A described [`WriteOp::Patch`]
+/// gets chain-neighborhood validation instead: every version committed
+/// past this transaction's snapshot is examined, and if each one carries
+/// a descriptor disjoint from ours (no shared columns, no shared
+/// anchors), the operations commute — the patch's columns are replayed
+/// onto the newest committed row and the commit proceeds as a merge.
+/// Any undescribed version, delete, or descriptor overlap is a *true*
+/// overlap: the abort stands and `true_overlap` is set so the engine can
+/// count real conflicts separately from FCW casualties.
 pub(crate) fn validate_writes(
     txn_writes: &BTreeMap<TableId, BTreeMap<RowId, WriteOp>>,
     created: &HashSet<(TableId, RowId)>,
     snapshot: Ts,
     txn: TxnId,
     tables: &BTreeMap<TableId, &mut TableStore>,
-) -> Result<()> {
+    true_overlap: &mut bool,
+) -> Result<MergePlan> {
+    let mut plan = MergePlan::default();
     for (&tid, writes) in txn_writes {
         let store = tables.get(&tid).ok_or(StorageError::UnknownTableId(tid))?;
+        let conflict = || StorageError::WriteConflict {
+            table: store.definition().name.clone(),
+            txn,
+        };
         // Write-write conflicts: someone committed past our snapshot.
-        for &rid in writes.keys() {
+        for (&rid, op) in writes {
             if created.contains(&(tid, rid)) {
                 continue;
             }
-            if let Some(newest) = store.newest_commit_ts(rid) {
-                if newest > snapshot {
-                    return Err(StorageError::WriteConflict {
-                        table: store.definition().name.clone(),
-                        txn,
-                    });
+            match store.newest_commit_ts(rid) {
+                Some(newest) if newest > snapshot => {}
+                _ => continue,
+            }
+            let WriteOp::Patch { row, desc } = op else {
+                return Err(conflict());
+            };
+            // Described write: commute or die. Every newer version must
+            // itself be a described put whose neighborhood is disjoint
+            // from ours; one opaque or overlapping version means the
+            // operations genuinely collide.
+            let newer: &[Version] = store.versions_after(rid, snapshot);
+            let mut base: Option<&SharedRow> = None;
+            for v in newer {
+                match (&v.op, &v.desc) {
+                    (VersionOp::Put(r), Some(d)) if !d.overlaps(desc) => base = Some(r),
+                    _ => {
+                        *true_overlap = true;
+                        return Err(conflict());
+                    }
                 }
             }
+            let base = base.expect("conflict window is non-empty");
+            // Replay exactly the columns this patch wrote onto the
+            // newest committed row; everything else is the other
+            // writers' work and survives untouched.
+            let mut merged = Row::clone(base);
+            for &pos in &desc.fields {
+                merged.set(pos as usize, row.values()[pos as usize].clone());
+            }
+            plan.fields_applied += desc.fields.len() as u64;
+            plan.rewrites.insert((tid, rid), merged.into_shared());
         }
         // Unique constraints, against latest committed state + this batch.
+        // Merged rewrites stand in for their buffered rows: the key the
+        // index will actually see is the merged one.
+        let effective = |rid: RowId, op: &WriteOp| -> Option<SharedRow> {
+            plan.rewrites.get(&(tid, rid)).or_else(|| op.row()).cloned()
+        };
         for (ipos, idx) in store.indexes().iter().enumerate() {
             if !idx.definition().unique {
                 continue;
             }
             let mut pending: BTreeMap<IndexKey, RowId> = BTreeMap::new();
             for (&rid, op) in writes {
-                if let WriteOp::Put(row) = op {
-                    let key = idx.key_of(row);
+                if let Some(row) = effective(rid, op) {
+                    let key = idx.key_of(&row);
                     if let Some(prev) = pending.insert(key.clone(), rid) {
                         if prev != rid {
                             return Err(StorageError::UniqueViolation {
@@ -619,5 +769,5 @@ pub(crate) fn validate_writes(
             }
         }
     }
-    Ok(())
+    Ok(plan)
 }

@@ -34,6 +34,7 @@ const VT_FLOAT: u8 = 7;
 // WalOp tags.
 const OP_PUT: u8 = 0;
 const OP_DELETE: u8 = 1;
+const OP_PATCH: u8 = 2;
 
 /// Encode a record to bytes (without the log's length/CRC framing).
 pub fn encode_record(rec: &WalRecord) -> Bytes {
@@ -160,6 +161,22 @@ fn put_op(b: &mut BytesMut, op: &WalOp) {
             }
         }
         WalOp::Delete => b.put_u8(OP_DELETE),
+        WalOp::Patch {
+            fields,
+            values,
+            anchors,
+        } => {
+            b.put_u8(OP_PATCH);
+            b.put_u32_le(fields.len() as u32);
+            for (f, v) in fields.iter().zip(values) {
+                b.put_u32_le(*f);
+                put_value(b, v);
+            }
+            b.put_u32_le(anchors.len() as u32);
+            for a in anchors {
+                b.put_u64_le(*a);
+            }
+        }
     }
 }
 
@@ -174,6 +191,25 @@ fn get_op(buf: &mut &[u8]) -> Result<WalOp> {
             Ok(WalOp::Put(Row::new(values).into_shared()))
         }
         OP_DELETE => Ok(WalOp::Delete),
+        OP_PATCH => {
+            let n = get_u32(buf)? as usize;
+            let mut fields = Vec::with_capacity(n.min(1 << 16));
+            let mut values = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                fields.push(get_u32(buf)?);
+                values.push(get_value(buf)?);
+            }
+            let m = get_u32(buf)? as usize;
+            let mut anchors = Vec::with_capacity(m.min(1 << 16));
+            for _ in 0..m {
+                anchors.push(get_u64(buf)?);
+            }
+            Ok(WalOp::Patch {
+                fields,
+                values,
+                anchors,
+            })
+        }
         t => Err(corrupt(format!("unknown op tag {t}"))),
     }
 }
@@ -424,6 +460,37 @@ mod tests {
                     op: WalOp::Delete,
                 },
             ],
+        });
+    }
+
+    #[test]
+    fn roundtrip_commit_with_patch() {
+        roundtrip(WalRecord::Commit {
+            txn: 18,
+            commit_ts: 100,
+            writes: vec![WalWrite {
+                table: TableId(4),
+                row: RowId(9),
+                op: WalOp::Patch {
+                    fields: vec![2, 6],
+                    values: vec![Value::Id(77), Value::Timestamp(123)],
+                    anchors: vec![154, u64::MAX],
+                },
+            }],
+        });
+        // An anchor-free patch (tombstone/style writes) also survives.
+        roundtrip(WalRecord::Commit {
+            txn: 19,
+            commit_ts: 101,
+            writes: vec![WalWrite {
+                table: TableId(4),
+                row: RowId(10),
+                op: WalOp::Patch {
+                    fields: vec![7],
+                    values: vec![Value::Bool(true)],
+                    anchors: vec![],
+                },
+            }],
         });
     }
 

@@ -38,10 +38,22 @@ pub struct WalWrite {
 
 /// The operation a write performed. Put holds the same shared row the
 /// version store publishes — encoding borrows it, nothing is copied.
+///
+/// `Patch` is the log form of a commutative described write: only the
+/// columns the transaction actually wrote (by position, with the values
+/// the commit published) plus its chain-neighborhood anchors. Replay
+/// composes the delta onto the row's then-newest state, so a log that
+/// survives only as a commit-order prefix still replays each merge
+/// exactly as it published.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalOp {
     Put(SharedRow),
     Delete,
+    Patch {
+        fields: Vec<u32>,
+        values: Vec<crate::value::Value>,
+        anchors: Vec<u64>,
+    },
 }
 
 /// A log record.

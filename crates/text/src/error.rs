@@ -55,8 +55,13 @@ pub enum TextError {
     StaleCache(DocId),
     /// An optimistic edit was retried to its attempt limit and every
     /// attempt hit a transient conflict. Not itself retryable — the
-    /// caller should back off at a coarser granularity.
-    RetriesExhausted { attempts: usize },
+    /// caller should back off at a coarser granularity. `last` carries
+    /// the final attempt's underlying error so the caller can see *what*
+    /// kept conflicting, not just that something did.
+    RetriesExhausted {
+        attempts: usize,
+        last: Option<Box<TextError>>,
+    },
     /// The character chain in the database is inconsistent.
     ChainCorrupt(String),
     /// A name that must be unique already exists.
@@ -108,8 +113,12 @@ impl fmt::Display for TextError {
                     "position cache of {doc} is incoherent; refresh and retry"
                 )
             }
-            TextError::RetriesExhausted { attempts } => {
-                write!(f, "edit still conflicting after {attempts} attempts")
+            TextError::RetriesExhausted { attempts, last } => {
+                write!(f, "edit still conflicting after {attempts} attempts")?;
+                if let Some(last) = last {
+                    write!(f, " (last: {last})")?;
+                }
+                Ok(())
             }
             TextError::ChainCorrupt(msg) => write!(f, "character chain corrupt: {msg}"),
             TextError::NameTaken(n) => write!(f, "name `{n}` already taken"),
@@ -122,6 +131,9 @@ impl std::error::Error for TextError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TextError::Storage(e) => Some(e),
+            TextError::RetriesExhausted {
+                last: Some(last), ..
+            } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -145,7 +157,11 @@ mod tests {
         });
         assert!(conflict.is_retryable());
         assert!(TextError::StaleCache(DocId(1)).is_retryable());
-        assert!(!TextError::RetriesExhausted { attempts: 16 }.is_retryable());
+        assert!(!TextError::RetriesExhausted {
+            attempts: 16,
+            last: None
+        }
+        .is_retryable());
         assert!(!TextError::NothingToUndo.is_retryable());
         assert!(!TextError::Storage(StorageError::UnknownTable("x".into())).is_retryable());
     }

@@ -63,13 +63,18 @@ impl DocHandle {
             let old = self.cache[id].style;
             olds.push(old);
             let version = self.cache[id].version + 1;
-            txn.set(
+            // Style touches no chain links: described (anchor-free) so it
+            // merges with neighbours being spliced around this character.
+            // Competing styles of the same character collide on `style`
+            // and resolve last-writer-wins by commit order.
+            txn.set_with_anchors(
                 t.chars,
                 id.row(),
                 &[
                     ("style", style.opt_value()),
                     ("version", Value::Int(version)),
                 ],
+                &[],
             )?;
         }
         let op = self.log_op(&mut txn, "style", crate::ids::OpId::NONE, ts)?;
@@ -85,6 +90,7 @@ impl DocHandle {
             )?;
         }
         let commit_ts = txn.commit()?;
+        self.note_commit(commit_ts);
 
         let mut effects = Vec::with_capacity(ids.len());
         for (id, old) in ids.iter().zip(olds) {

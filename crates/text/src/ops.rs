@@ -226,7 +226,11 @@ impl DocHandle {
         let ts = self.tdb.now();
         for id in &ids {
             let version = self.cache[id].version + 1;
-            txn.set(
+            // A tombstone touches only the deletion flags, never the
+            // chain links: described (with no anchors) so it commutes
+            // with a neighbour splicing around this character. Two
+            // deletes of the same character still collide on `deleted`.
+            txn.set_with_anchors(
                 t.chars,
                 id.row(),
                 &[
@@ -235,6 +239,7 @@ impl DocHandle {
                     ("deleted_at", Value::Timestamp(ts)),
                     ("version", Value::Int(version)),
                 ],
+                &[],
             )?;
         }
         let op = self.log_op(&mut txn, "delete", OpId::NONE, ts)?;
@@ -242,6 +247,7 @@ impl DocHandle {
             self.log_effect(&mut txn, op, seq as i64, "del", *id, None, None)?;
         }
         let commit_ts = txn.commit()?;
+        self.note_commit(commit_ts);
 
         let mut effects = Vec::with_capacity(ids.len());
         for id in ids {
@@ -355,7 +361,7 @@ impl DocHandle {
         // 1) Tombstone the source characters.
         for id in &src_ids {
             let version = self.cache[id].version + 1;
-            txn.set(
+            txn.set_with_anchors(
                 t.chars,
                 id.row(),
                 &[
@@ -364,6 +370,7 @@ impl DocHandle {
                     ("deleted_at", Value::Timestamp(ts)),
                     ("version", Value::Int(version)),
                 ],
+                &[],
             )?;
         }
         let del_op = self.log_op(&mut txn, "delete", OpId::NONE, ts)?;
@@ -410,7 +417,12 @@ impl DocHandle {
         }
         match dst_prev {
             Some(p) => {
-                txn.set(t.chars, p.row(), &[("next", new_ids[0].value())])?;
+                txn.set_with_anchors(
+                    t.chars,
+                    p.row(),
+                    &[("next", new_ids[0].value())],
+                    &[p.next_edge()],
+                )?;
             }
             None => {
                 let state = self.tdb.document_info_txn(&txn, dst.doc)?.state;
@@ -418,10 +430,11 @@ impl DocHandle {
             }
         }
         if let Some(n) = dst_next {
-            txn.set(
+            txn.set_with_anchors(
                 t.chars,
                 n.row(),
                 &[("prev", new_ids[new_ids.len() - 1].value())],
+                &[n.prev_edge()],
             )?;
         }
         let ins_op = dst.log_op(&mut txn, "paste", OpId::NONE, ts)?;
@@ -440,6 +453,8 @@ impl DocHandle {
             ]),
         )?;
         let commit_ts = txn.commit()?;
+        self.note_commit(commit_ts);
+        dst.note_commit(commit_ts);
 
         // Publish to both caches.
         let mut del_effects = Vec::with_capacity(src_ids.len());
@@ -667,10 +682,20 @@ impl DocHandle {
         }
 
         // Relink neighbours. These shared-row writes are what detect
-        // same-position races between editors.
+        // same-position races between editors — described with the chain
+        // edge they rewrite, so edits in *disjoint* neighborhoods of the
+        // same row (one editor splicing before a character, another
+        // after it) merge at commit instead of aborting. Same-position
+        // inserts still collide on the shared `next` edge, and the
+        // first committer's timestamp decides the order (RGA-style).
         match prev_id {
             Some(p) => {
-                txn.set(t.chars, p.row(), &[("next", ids[0].value())])?;
+                txn.set_with_anchors(
+                    t.chars,
+                    p.row(),
+                    &[("next", ids[0].value())],
+                    &[p.next_edge()],
+                )?;
             }
             None => {
                 // Head insert: touch the document row so two concurrent
@@ -684,7 +709,12 @@ impl DocHandle {
             }
         }
         if let Some(n) = next_id {
-            txn.set(t.chars, n.row(), &[("prev", ids[ids.len() - 1].value())])?;
+            txn.set_with_anchors(
+                t.chars,
+                n.row(),
+                &[("prev", ids[ids.len() - 1].value())],
+                &[n.prev_edge()],
+            )?;
         }
 
         let op = self.log_op(&mut txn, kind, OpId::NONE, ts)?;
@@ -722,6 +752,7 @@ impl DocHandle {
             )?;
         }
         let commit_ts = txn.commit()?;
+        self.note_commit(commit_ts);
 
         // Publish to the local cache and build broadcast effects.
         let mut effects = Vec::with_capacity(ids.len());

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the hot-document contention benchmark (experiment A9) and append
+# its one-line JSON summary to bench_results/hot_doc_contention.json
+# (one line per run, newest last), so merge-vs-abort regressions show
+# up as a diffable series.
+# Usage: scripts/bench_hotdoc.sh [--test]   (--test: small quick run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p bench_results
+out="$PWD/bench_results/hot_doc_contention.json"
+
+echo "==> cargo bench -p tendax-bench --bench hot_doc_contention"
+# cargo runs the bench with the package dir as CWD; pass an absolute path.
+cargo bench -p tendax-bench --bench hot_doc_contention -- --json "$out" "$@"
+
+echo "==> appended to bench_results/hot_doc_contention.json:"
+tail -n 1 "$out"

@@ -22,6 +22,9 @@ cargo test -q -p tendax-storage --test sim_crash
 echo "==> commit-pipeline invariants (gap-freedom, FCW, WAL prefix replay)"
 cargo test -q -p tendax-storage --test commit_pipeline
 
+echo "==> commutative merge-commit suite (descriptor merge vs abort matrix)"
+cargo test -q -p tendax-storage --test merge_commit
+
 echo "==> transport loopback smoke (wire codec + TCP e2e convergence)"
 cargo test -q -p tendax-net --test codec --test loopback
 
