@@ -24,6 +24,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use tendax_bench::stats::LatencyHistogram;
 use tendax_storage::{
     DataType, Database, MaintenanceOptions, Options, Predicate, Row, TableDef, Value,
 };
@@ -85,11 +86,6 @@ struct RunResult {
     vacuums: u64,
 }
 
-fn percentile(sorted_ns: &[u64], frac: f64) -> f64 {
-    let idx = ((sorted_ns.len() as f64 - 1.0) * frac).round() as usize;
-    sorted_ns[idx] as f64 / 1_000.0
-}
-
 /// Seed the working set, run `commits` round-robin updates timing each
 /// commit, then drop the database and time a cold reopen.
 fn run(label: &'static str, maintenance: Option<MaintenanceOptions>, commits: u64) -> RunResult {
@@ -122,7 +118,7 @@ fn run(label: &'static str, maintenance: Option<MaintenanceOptions>, commits: u6
         }
         txn.commit().expect("seed commit");
 
-        let mut lat_ns = Vec::with_capacity(commits as usize);
+        let mut lat = LatencyHistogram::with_capacity(commits as usize);
         for i in 0..commits {
             let rid = rids[(i % WORKING_SET) as usize];
             let start = Instant::now();
@@ -137,12 +133,12 @@ fn run(label: &'static str, maintenance: Option<MaintenanceOptions>, commits: u6
             )
             .expect("update");
             txn.commit().expect("commit");
-            lat_ns.push(start.elapsed().as_nanos() as u64);
+            lat.record(start.elapsed());
         }
         let stats = db.stats();
         checkpoints = stats.maintenance_checkpoints;
         vacuums = stats.maintenance_vacuums;
-        lat_ns.sort_unstable();
+        let summary = lat.summary().expect("commits recorded");
         let wal_bytes = std::fs::metadata(&path).expect("wal meta").len();
         // Reopen timed below needs the db (and its maintenance thread)
         // gone first.
@@ -159,9 +155,9 @@ fn run(label: &'static str, maintenance: Option<MaintenanceOptions>, commits: u6
         return RunResult {
             label,
             commits,
-            p50_us: percentile(&lat_ns, 0.50),
-            p99_us: percentile(&lat_ns, 0.99),
-            max_us: percentile(&lat_ns, 1.0),
+            p50_us: summary.p50_us,
+            p99_us: summary.p99_us,
+            max_us: summary.max_us,
             wal_bytes,
             reopen_ms,
             checkpoints,

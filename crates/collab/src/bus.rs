@@ -95,10 +95,24 @@ struct BusInner {
     evicted: u64,
 }
 
+/// Publish-notification callbacks (see
+/// [`Transport::register_publish_hook`]). Kept outside [`BusInner`] so
+/// hooks run after the subscriber lock is released.
+struct HookSet(Mutex<Vec<Box<dyn Fn() -> bool + Send + Sync>>>);
+
+impl std::fmt::Debug for HookSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("HookSet")
+            .field(&self.0.lock().len())
+            .finish()
+    }
+}
+
 /// The shared broadcast bus. Cheap to clone.
 #[derive(Debug, Clone)]
 pub struct LanBus {
     inner: Arc<Mutex<BusInner>>,
+    hooks: Arc<HookSet>,
     policy: BusPolicy,
 }
 
@@ -117,6 +131,7 @@ impl LanBus {
     pub fn with_policy(policy: BusPolicy) -> Self {
         LanBus {
             inner: Arc::new(Mutex::new(BusInner::default())),
+            hooks: Arc::new(HookSet(Mutex::new(Vec::new()))),
             policy,
         }
     }
@@ -202,6 +217,19 @@ impl LanBus {
         inner.delivered += delivered;
         inner.dropped += dropped;
         inner.evicted += evicted;
+        drop(inner);
+        // Wake pollers after the subscriber lock is released; a hook
+        // returning false is deregistered.
+        let mut hooks = self.hooks.0.lock();
+        if !hooks.is_empty() {
+            hooks.retain(|h| h());
+        }
+    }
+
+    /// Register a publish-notification callback (see
+    /// [`Transport::register_publish_hook`]).
+    pub fn register_publish_hook(&self, hook: Box<dyn Fn() -> bool + Send + Sync>) {
+        self.hooks.0.lock().push(hook);
     }
 
     /// Total events ever published (bus statistics).
@@ -245,6 +273,10 @@ impl Transport for LanBus {
 
     fn stats(&self) -> TransportStats {
         LanBus::stats(self)
+    }
+
+    fn register_publish_hook(&self, hook: Box<dyn Fn() -> bool + Send + Sync>) {
+        LanBus::register_publish_hook(self, hook);
     }
 }
 

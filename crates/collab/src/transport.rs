@@ -50,6 +50,15 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
 
     /// Cumulative delivery/backpressure counters.
     fn stats(&self) -> TransportStats;
+
+    /// Register a callback invoked after every `publish` (any document).
+    /// Lets a consumer that multiplexes many subscriptions over few
+    /// threads (e.g. a forwarder pool) park between events and still
+    /// wake immediately on commit instead of polling. The callback must
+    /// be fast and non-blocking; returning `false` deregisters it.
+    /// Transports without a notification path may ignore this (the
+    /// default), in which case consumers fall back to polling.
+    fn register_publish_hook(&self, _hook: Box<dyn Fn() -> bool + Send + Sync>) {}
 }
 
 /// The receiving end of one document subscription.

@@ -21,6 +21,8 @@ pub mod codes {
     pub const NOT_FOUND: u16 = 4;
     /// The edit was rejected by the database (permissions, position).
     pub const REJECTED: u16 = 5;
+    /// The server is at its connection limit; try again later.
+    pub const CAPACITY: u16 = 6;
 }
 
 /// Everything that can go wrong on the wire. Malformed input from a
@@ -56,6 +58,9 @@ pub enum NetError {
     Remote { code: u16, message: String },
     /// This connection was dropped for lagging behind the broadcast.
     SlowConsumer,
+    /// The server refused the connection: it is already serving its
+    /// configured maximum number of clients.
+    AtCapacity { limit: usize },
     /// Timed out waiting for a reply.
     Timeout,
     /// A database error surfaced through the protocol.
@@ -89,6 +94,9 @@ impl fmt::Display for NetError {
                 write!(f, "server error {code}: {message}")
             }
             NetError::SlowConsumer => write!(f, "disconnected: lagging behind the broadcast"),
+            NetError::AtCapacity { limit } => {
+                write!(f, "server at capacity ({limit} connections)")
+            }
             NetError::Timeout => write!(f, "timed out waiting for a reply"),
             NetError::Text(e) => write!(f, "database error: {e}"),
         }

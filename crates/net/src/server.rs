@@ -34,10 +34,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use tendax_collab::{CollabServer, EditorDoc, EditorSession, Platform};
@@ -46,6 +46,21 @@ use tendax_text::DocId;
 use crate::error::{codes, NetError, Result};
 use crate::protocol::{EditOp, Frame, WireChar, WireEvent, WirePresence, PROTOCOL_VERSION};
 use crate::wire::FrameBuffer;
+
+/// How committed events get forwarded from the in-process transport
+/// onto connections' outbound queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwarderMode {
+    /// One dedicated pump thread per (connection, document)
+    /// subscription — the original design. Simple, but the server's
+    /// thread count scales as connections × subscribed documents.
+    PerSubscription,
+    /// A fixed pool of worker threads multiplexing every subscription
+    /// on the server. Thread count is constant regardless of how many
+    /// clients subscribe to how many documents. The value is the worker
+    /// count (clamped to at least 1).
+    Pooled(usize),
+}
 
 /// Tuning knobs of the TCP server.
 #[derive(Debug, Clone)]
@@ -61,6 +76,13 @@ pub struct NetConfig {
     /// Socket read timeout of the per-connection reader loop; bounds
     /// how quickly kill flags and shutdown are observed.
     pub read_tick: Duration,
+    /// Maximum simultaneously served connections. Excess clients are
+    /// turned away with a `Frame::Error { code: CAPACITY }` goodbye
+    /// before any per-connection threads or sessions exist, so an
+    /// accept flood cannot exhaust the process.
+    pub max_connections: usize,
+    /// Event-forwarding strategy (see [`ForwarderMode`]).
+    pub forwarder: ForwarderMode,
 }
 
 impl Default for NetConfig {
@@ -71,6 +93,8 @@ impl Default for NetConfig {
             lag_limit: 256,
             critical_send_timeout: Duration::from_secs(5),
             read_tick: Duration::from_millis(100),
+            max_connections: 256,
+            forwarder: ForwarderMode::Pooled(4),
         }
     }
 }
@@ -91,6 +115,12 @@ pub struct NetServerStats {
     /// Event frames successfully enqueued by forwarders across all
     /// connections.
     pub events_forwarded: u64,
+    /// Connections turned away at the `max_connections` limit.
+    pub capacity_rejects: u64,
+    /// Threads created for event forwarding over the server's lifetime:
+    /// one per subscription in [`ForwarderMode::PerSubscription`], the
+    /// fixed worker count in [`ForwarderMode::Pooled`].
+    pub forwarder_threads: u64,
 }
 
 #[derive(Debug, Default)]
@@ -101,6 +131,8 @@ struct StatCells {
     slow_disconnects: AtomicU64,
     frames_dropped: AtomicU64,
     events_forwarded: AtomicU64,
+    capacity_rejects: AtomicU64,
+    forwarder_threads: AtomicU64,
 }
 
 /// Bounded outbound frame queue with a kill switch.
@@ -240,6 +272,17 @@ pub struct NetServer {
     accept: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<Arc<ConnShared>>>>,
     stats: Arc<StatCells>,
+    pool: Option<Arc<ForwarderPool>>,
+}
+
+/// Decrements the live-connection gauge when a connection thread exits,
+/// however it exits.
+struct LiveGuard(Arc<AtomicUsize>);
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl NetServer {
@@ -255,11 +298,22 @@ impl NetServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<Arc<ConnShared>>>> = Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(StatCells::default());
+        let pool = match config.forwarder {
+            ForwarderMode::PerSubscription => None,
+            ForwarderMode::Pooled(n) => Some(ForwarderPool::start(
+                n.max(1),
+                collab.clone(),
+                config.clone(),
+                Arc::clone(&stats),
+            )),
+        };
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
             let stats = Arc::clone(&stats);
+            let pool = pool.clone();
+            let live = Arc::new(AtomicUsize::new(0));
             std::thread::Builder::new()
                 .name("tendax-net-accept".into())
                 .spawn(move || {
@@ -269,6 +323,11 @@ impl NetServer {
                         }
                         let Ok(stream) = stream else { continue };
                         stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        if live.load(Ordering::Acquire) >= config.max_connections {
+                            stats.capacity_rejects.fetch_add(1, Ordering::Relaxed);
+                            reject_at_capacity(stream, config.max_connections);
+                            continue;
+                        }
                         // Reap finished connections so the registry does
                         // not grow with server lifetime.
                         conns.lock().retain(|c: &Arc<ConnShared>| !c.is_dead());
@@ -276,11 +335,18 @@ impl NetServer {
                         let config = config.clone();
                         let conns = Arc::clone(&conns);
                         let stats = Arc::clone(&stats);
-                        let _ = std::thread::Builder::new()
+                        let pool = pool.clone();
+                        live.fetch_add(1, Ordering::AcqRel);
+                        let guard = LiveGuard(Arc::clone(&live));
+                        let spawned = std::thread::Builder::new()
                             .name("tendax-net-conn".into())
                             .spawn(move || {
-                                handle_connection(stream, collab, config, conns, stats);
+                                let _guard = guard;
+                                handle_connection(stream, collab, config, conns, stats, pool);
                             });
+                        // `guard` moved into the thread on success; a
+                        // failed spawn drops it here, undoing the count.
+                        let _ = spawned;
                     }
                 })
                 .expect("spawn accept thread")
@@ -292,6 +358,7 @@ impl NetServer {
             accept: Some(accept),
             conns,
             stats,
+            pool,
         })
     }
 
@@ -308,6 +375,8 @@ impl NetServer {
             slow_disconnects: self.stats.slow_disconnects.load(Ordering::Relaxed),
             frames_dropped: self.stats.frames_dropped.load(Ordering::Relaxed),
             events_forwarded: self.stats.events_forwarded.load(Ordering::Relaxed),
+            capacity_rejects: self.stats.capacity_rejects.load(Ordering::Relaxed),
+            forwarder_threads: self.stats.forwarder_threads.load(Ordering::Relaxed),
         }
     }
 
@@ -325,7 +394,43 @@ impl NetServer {
             conn.kill(None);
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
     }
+}
+
+/// Turn away a connection at the capacity limit: best-effort drain of
+/// the client's `Hello` (so closing the socket does not RST the goodbye
+/// frame out of the peer's receive buffer), one typed `Error` frame,
+/// close. Runs inline in the accept thread with short timeouts — no
+/// per-connection threads or sessions are ever created for a rejected
+/// client.
+fn reject_at_capacity(stream: TcpStream, limit: usize) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut buf = FrameBuffer::default();
+    let mut scratch = [0u8; 4096];
+    let mut s = &stream;
+    loop {
+        match buf.try_frame() {
+            Ok(Some(_)) | Err(_) => break,
+            Ok(None) => {}
+        }
+        match s.read(&mut scratch) {
+            Ok(n) if n > 0 => buf.extend(&scratch[..n]),
+            _ => break,
+        }
+    }
+    let _ = s.write_all(
+        &Frame::Error {
+            code: codes::CAPACITY,
+            message: NetError::AtCapacity { limit }.to_string(),
+        }
+        .encode(),
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 impl Drop for NetServer {
@@ -386,7 +491,10 @@ fn db_snapshot(collab: &CollabServer, doc: DocId, user: tendax_text::UserId) -> 
     })
 }
 
-/// One subscription's forwarder-thread control block.
+/// One subscription's forwarder control block. `pump` is `Some` in
+/// [`ForwarderMode::PerSubscription`] (a dedicated thread to join); in
+/// pooled mode the `stop` flag tells the pool to discard the task on
+/// its next visit.
 struct SubState {
     editor: EditorDoc,
     stop: Arc<AtomicBool>,
@@ -403,12 +511,257 @@ impl SubState {
     }
 }
 
+/// How long a worker parks once a full pass over the task queue
+/// produced no events. Parked workers are woken early by the
+/// transport's publish hook, so this is a fallback tick (lost-wakeup
+/// races, hookless transports), not the expected delivery latency.
+const POOL_IDLE_BACKOFF: Duration = Duration::from_millis(1);
+
+/// How many tasks a pool worker claims from the shared queue per lock
+/// acquisition. Visits are non-blocking, so a larger batch amortizes
+/// queue-mutex traffic without starving other workers for long.
+const POOL_VISIT_BATCH: usize = 16;
+
+/// Per-attempt wait for a recovery snapshot's queue space in pooled
+/// mode. Deliberately short: a worker must not be pinned for the full
+/// `critical_send_timeout` by one slow consumer — the overall deadline
+/// is tracked across visits in [`PumpTask::recover_by`].
+const POOL_RECOVERY_TRY: Duration = Duration::from_millis(10);
+
+/// One subscription's forwarding state, owned by the pool between
+/// worker visits.
+struct PumpTask {
+    doc: DocId,
+    source: Box<dyn tendax_collab::EventSource>,
+    shared: Arc<ConnShared>,
+    stop: Arc<AtomicBool>,
+    user: tendax_text::UserId,
+    /// The client has an undetectable gap; suppress events until a
+    /// recovery snapshot lands (same protocol as the dedicated pump).
+    lost: bool,
+    /// Deadline for delivering the pending recovery snapshot; set when
+    /// `lost` flips true, cleared when the snapshot lands.
+    recover_by: Option<Instant>,
+}
+
+/// A fixed set of worker threads multiplexing every subscription's
+/// event forwarding. Workers take one task at a time off the shared
+/// queue (which serializes each task without per-task locks), drain its
+/// pending events without blocking, and put it back; a worker only
+/// parks ([`POOL_IDLE_BACKOFF`]) after a whole pass found nothing.
+struct ForwarderPool {
+    tasks: Mutex<VecDeque<PumpTask>>,
+    /// Signalled when tasks are submitted or shutdown begins.
+    wake: Condvar,
+    shutdown: AtomicBool,
+    collab: CollabServer,
+    config: NetConfig,
+    stats: Arc<StatCells>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ForwarderPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForwarderPool")
+            .field("tasks", &self.tasks.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ForwarderPool {
+    fn start(
+        workers: usize,
+        collab: CollabServer,
+        config: NetConfig,
+        stats: Arc<StatCells>,
+    ) -> Arc<ForwarderPool> {
+        let pool = Arc::new(ForwarderPool {
+            tasks: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            collab,
+            config,
+            stats,
+            workers: Mutex::new(Vec::with_capacity(workers)),
+        });
+        let mut handles = pool.workers.lock();
+        for i in 0..workers {
+            let pool2 = Arc::clone(&pool);
+            pool.stats.forwarder_threads.fetch_add(1, Ordering::Relaxed);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tendax-net-pool-{i}"))
+                    .spawn(move || pool2.worker_loop())
+                    .expect("spawn pool worker"),
+            );
+        }
+        drop(handles);
+        // Wake parked workers the moment anything is published, so the
+        // pool delivers with commit-driven latency instead of the idle
+        // backoff; [`POOL_IDLE_BACKOFF`] remains only as the fallback
+        // for transports that ignore the hook. Weak: the hook must not
+        // keep the pool (and its collab/bus cycle) alive — once the
+        // pool is gone the hook deregisters itself by returning false.
+        let weak = Arc::downgrade(&pool);
+        pool.collab
+            .transport()
+            .register_publish_hook(Box::new(move || match weak.upgrade() {
+                Some(pool) => {
+                    pool.wake.notify_all();
+                    true
+                }
+                None => false,
+            }));
+        pool
+    }
+
+    /// Register a new subscription with the pool.
+    fn submit(&self, task: PumpTask) {
+        self.tasks.lock().push_back(task);
+        self.wake.notify_one();
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.wake.notify_all();
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // Dropping the remaining tasks unsubscribes their sources.
+        self.tasks.lock().clear();
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        // Consecutive unproductive visits. Once a full pass over the
+        // queue yields no events, the worker parks briefly instead of
+        // spinning through non-blocking polls.
+        let mut idle_streak = 0usize;
+        let mut batch: Vec<PumpTask> = Vec::with_capacity(POOL_VISIT_BATCH);
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Take a batch of tasks in one lock acquisition: with
+            // hundreds of subscriptions and a handful of workers, the
+            // shared queue's mutex is the scaling bottleneck, not the
+            // polls themselves.
+            let queue_len = {
+                let mut guard = self.tasks.lock();
+                let len = guard.len();
+                let take = len.min(POOL_VISIT_BATCH);
+                batch.extend(guard.drain(..take));
+                len
+            };
+            if batch.is_empty() {
+                let mut guard = self.tasks.lock();
+                if guard.is_empty() && !self.shutdown.load(Ordering::Acquire) {
+                    self.wake.wait_for(&mut guard, Duration::from_millis(20));
+                }
+                idle_streak = 0;
+                continue;
+            }
+            let visited = batch.len();
+            let mut any_progress = false;
+            let mut survivors: Vec<PumpTask> = Vec::with_capacity(visited);
+            for mut task in batch.drain(..) {
+                if task.stop.load(Ordering::Acquire) || task.shared.is_dead() {
+                    continue; // discard; dropping the source unsubscribes
+                }
+                let (keep, progress) = self.pump(&mut task);
+                any_progress |= progress;
+                if keep {
+                    survivors.push(task);
+                }
+            }
+            if !survivors.is_empty() {
+                self.tasks.lock().extend(survivors.drain(..));
+            }
+            if any_progress {
+                idle_streak = 0;
+            } else {
+                idle_streak += visited;
+                if idle_streak >= queue_len {
+                    idle_streak = 0;
+                    let mut guard = self.tasks.lock();
+                    if !self.shutdown.load(Ordering::Acquire) {
+                        self.wake.wait_for(&mut guard, POOL_IDLE_BACKOFF);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One non-blocking forwarding visit for `task`. Returns
+    /// `(keep, progress)`: whether to requeue the task, and whether the
+    /// visit did any work (drives the caller's idle backoff). Same
+    /// protocol as [`spawn_forwarder`]'s loop body, except that a
+    /// recovery snapshot blocked on queue space is retried across
+    /// visits against `recover_by` instead of pinning a thread for the
+    /// full critical timeout.
+    fn pump(&self, task: &mut PumpTask) -> (bool, bool) {
+        let events = task.source.poll();
+        let mut progress = !events.is_empty();
+        for ev in events {
+            if task.lost {
+                self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                task.shared.queue.note_lag();
+                continue;
+            }
+            let frame = Frame::Event(WireEvent::from(ev.as_ref())).encode();
+            if task.shared.queue.try_push(frame) {
+                self.stats.events_forwarded.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                task.lost = true;
+            }
+        }
+        if task.source.lagged_out() {
+            task.source = self.collab.transport().connect(task.doc, Duration::ZERO);
+            task.lost = true;
+        }
+        if task.lost {
+            progress = true; // recovery in flight: keep visiting promptly
+            let deadline = *task
+                .recover_by
+                .get_or_insert_with(|| Instant::now() + self.config.critical_send_timeout);
+            if let Some(snap) = db_snapshot(&self.collab, task.doc, task.user) {
+                match task
+                    .shared
+                    .queue
+                    .push_critical(snap.encode(), POOL_RECOVERY_TRY)
+                {
+                    Ok(()) => {
+                        task.shared.queue.reset_lag();
+                        task.lost = false;
+                        task.recover_by = None;
+                    }
+                    Err(_) if Instant::now() >= deadline => {
+                        self.stats.slow_disconnects.fetch_add(1, Ordering::Relaxed);
+                        task.shared.kill(Some(
+                            Frame::Error {
+                                code: codes::SLOW_CONSUMER,
+                                message: NetError::SlowConsumer.to_string(),
+                            }
+                            .encode(),
+                        ));
+                        return (false, true);
+                    }
+                    Err(_) => {} // retry on the next visit
+                }
+            }
+        }
+        (true, progress)
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     collab: CollabServer,
     config: NetConfig,
     conns: Arc<Mutex<Vec<Arc<ConnShared>>>>,
     stats: Arc<StatCells>,
+    pool: Option<Arc<ForwarderPool>>,
 ) {
     let _ = stream.set_nodelay(true);
     let shared = Arc::new(ConnShared {
@@ -457,7 +810,7 @@ fn handle_connection(
             .expect("spawn writer thread")
     };
 
-    let result = serve_client(&stream, &collab, &config, &shared, &stats);
+    let result = serve_client(&stream, &collab, &config, &shared, &stats, pool.as_ref());
 
     match result {
         Ok(()) => shared.kill(None),
@@ -465,6 +818,7 @@ fn handle_connection(
             let (code, counts_as) = match &err {
                 NetError::Auth(_) => (codes::AUTH, &stats.auth_failures),
                 NetError::SlowConsumer => (codes::SLOW_CONSUMER, &stats.slow_disconnects),
+                NetError::AtCapacity { .. } => (codes::CAPACITY, &stats.capacity_rejects),
                 NetError::Io(_) | NetError::Closed => (0, &stats.accepted),
                 _ => (codes::PROTOCOL, &stats.protocol_errors),
             };
@@ -517,6 +871,7 @@ fn serve_client(
     config: &NetConfig,
     shared: &Arc<ConnShared>,
     stats: &Arc<StatCells>,
+    pool: Option<&Arc<ForwarderPool>>,
 ) -> Result<()> {
     stream.set_read_timeout(Some(config.read_tick))?;
     let mut buf = FrameBuffer::default();
@@ -626,24 +981,31 @@ fn serve_client(
                 };
                 critical(snapshot_frame(&editor))?;
                 let stop = Arc::new(AtomicBool::new(false));
-                let pump = spawn_forwarder(
-                    doc,
-                    source,
-                    Arc::clone(shared),
-                    Arc::clone(&stop),
-                    collab.clone(),
-                    session.user(),
-                    config.clone(),
-                    Arc::clone(stats),
-                );
-                subs.insert(
-                    doc,
-                    SubState {
-                        editor,
-                        stop,
-                        pump: Some(pump),
-                    },
-                );
+                let pump = match pool {
+                    Some(pool) => {
+                        pool.submit(PumpTask {
+                            doc,
+                            source,
+                            shared: Arc::clone(shared),
+                            stop: Arc::clone(&stop),
+                            user: session.user(),
+                            lost: false,
+                            recover_by: None,
+                        });
+                        None
+                    }
+                    None => Some(spawn_forwarder(
+                        doc,
+                        source,
+                        Arc::clone(shared),
+                        Arc::clone(&stop),
+                        collab.clone(),
+                        session.user(),
+                        config.clone(),
+                        Arc::clone(stats),
+                    )),
+                };
+                subs.insert(doc, SubState { editor, stop, pump });
             }
             Frame::Unsubscribe { doc } => {
                 if let Some(sub) = subs.remove(&DocId(doc)) {
@@ -757,6 +1119,7 @@ fn spawn_forwarder(
     config: NetConfig,
     stats: Arc<StatCells>,
 ) -> JoinHandle<()> {
+    stats.forwarder_threads.fetch_add(1, Ordering::Relaxed);
     std::thread::Builder::new()
         .name("tendax-net-pump".into())
         .spawn(move || {

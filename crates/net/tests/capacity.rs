@@ -1,0 +1,200 @@
+//! Regression tests for the server's connection bound and the pooled
+//! event-forwarder.
+//!
+//! The `max_connections` limit exists because the accept path used to
+//! spawn the full per-connection thread set for every socket that
+//! showed up: an accept flood could exhaust the process. Excess clients
+//! must now be turned away with a typed goodbye frame before any
+//! threads or sessions are created for them.
+
+use std::time::{Duration, Instant};
+
+use tendax_collab::CollabServer;
+use tendax_net::{codes, ForwarderMode, NetClient, NetConfig, NetError, NetServer};
+use tendax_text::TextDb;
+
+const WAIT: Duration = Duration::from_secs(30);
+
+fn serve(users: &[&str], docs: &[&str], config: NetConfig) -> (NetServer, CollabServer) {
+    let tdb = TextDb::in_memory();
+    let mut creator = None;
+    for u in users {
+        let id = tdb.create_user(u).unwrap();
+        creator.get_or_insert(id);
+    }
+    for d in docs {
+        tdb.create_document(d, creator.expect("at least one user"))
+            .unwrap();
+    }
+    let collab = CollabServer::new(tdb);
+    let server = NetServer::bind("127.0.0.1:0", collab.clone(), config).unwrap();
+    (server, collab)
+}
+
+/// Limit 2, 3 clients: the third is rejected with `codes::CAPACITY`,
+/// and a slot freed by a disconnect becomes usable again.
+#[test]
+fn third_client_rejected_at_limit_two() {
+    let config = NetConfig {
+        max_connections: 2,
+        ..NetConfig::default()
+    };
+    let (server, _collab) = serve(&["alice", "bob", "carol"], &["doc"], config);
+    let addr = server.local_addr();
+
+    let a = NetClient::connect(addr, "alice").unwrap();
+    let b = NetClient::connect(addr, "bob").unwrap();
+
+    match NetClient::connect(addr, "carol") {
+        Err(NetError::Remote { code, message }) => {
+            assert_eq!(code, codes::CAPACITY, "got {message:?}");
+            assert!(message.contains("capacity"), "got {message:?}");
+        }
+        Ok(_) => panic!("third client must be rejected at limit 2"),
+        Err(other) => panic!("expected typed capacity error, got {other:?}"),
+    }
+    assert_eq!(server.stats().capacity_rejects, 1);
+
+    // Both admitted connections still work.
+    a.ping().unwrap();
+    b.ping().unwrap();
+
+    // Freeing a slot re-admits new clients (the server reaps the closed
+    // connection within a read tick; retry until it does).
+    drop(a);
+    let deadline = Instant::now() + WAIT;
+    let c = loop {
+        match NetClient::connect(addr, "carol") {
+            Ok(c) => break c,
+            Err(NetError::Remote { code, .. }) if code == codes::CAPACITY => {
+                assert!(Instant::now() < deadline, "slot never freed");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(other) => panic!("unexpected error while waiting for slot: {other:?}"),
+        }
+    };
+    c.ping().unwrap();
+}
+
+/// A rejected client costs the server no session state: rejects do not
+/// disturb established subscriptions or the event stream.
+#[test]
+fn rejects_do_not_disturb_established_clients() {
+    let config = NetConfig {
+        max_connections: 1,
+        ..NetConfig::default()
+    };
+    let (server, _collab) = serve(&["alice", "bob"], &["doc"], config);
+    let addr = server.local_addr();
+
+    let a = NetClient::connect(addr, "alice").unwrap();
+    let doc = a.subscribe("doc").unwrap();
+    for _ in 0..5 {
+        assert!(matches!(
+            NetClient::connect(addr, "bob"),
+            Err(NetError::Remote { code, .. }) if code == codes::CAPACITY
+        ));
+    }
+    let (_, ts) = a.insert(doc, 0, "still here").unwrap();
+    assert!(a.wait_synced(doc, ts, WAIT));
+    assert_eq!(a.text(doc).unwrap(), "still here");
+    assert_eq!(server.stats().capacity_rejects, 5);
+}
+
+/// Both forwarder modes deliver the same convergence guarantee; the
+/// pooled mode does it with a fixed thread count instead of one pump
+/// thread per subscription.
+#[test]
+fn pooled_and_per_subscription_forwarders_converge() {
+    for mode in [ForwarderMode::Pooled(2), ForwarderMode::PerSubscription] {
+        let config = NetConfig {
+            forwarder: mode,
+            ..NetConfig::default()
+        };
+        let (server, _collab) = serve(&["alice", "bob"], &["left", "right"], config);
+        let addr = server.local_addr();
+
+        let a = NetClient::connect(addr, "alice").unwrap();
+        let b = NetClient::connect(addr, "bob").unwrap();
+        let left = a.subscribe("left").unwrap();
+        let right = a.subscribe("right").unwrap();
+        assert_eq!(b.subscribe("left").unwrap(), left);
+        assert_eq!(b.subscribe("right").unwrap(), right);
+
+        let (_, t1) = a.insert(left, 0, "hello").unwrap();
+        let (_, t2) = a.insert(right, 0, "world").unwrap();
+        assert!(b.wait_synced(left, t1, WAIT), "mode {mode:?}");
+        assert!(b.wait_synced(right, t2, WAIT), "mode {mode:?}");
+        assert_eq!(b.text(left).unwrap(), "hello");
+        assert_eq!(b.text(right).unwrap(), "world");
+
+        let stats = server.stats();
+        match mode {
+            // 4 subscriptions, but only the fixed worker set exists.
+            ForwarderMode::Pooled(n) => assert_eq!(stats.forwarder_threads, n as u64),
+            // One dedicated pump per subscription.
+            ForwarderMode::PerSubscription => assert_eq!(stats.forwarder_threads, 4),
+        }
+        assert!(stats.events_forwarded >= 2, "mode {mode:?}: {stats:?}");
+    }
+}
+
+/// The pooled slow-consumer path: a client that stops reading is cut
+/// with `SLOW_CONSUMER` without wedging the pool for other clients.
+#[test]
+fn pooled_forwarder_cuts_slow_consumer() {
+    // Tiny queue so the sloth overflows fast, but a lag limit far above
+    // any transient drop burst: the flooding healthy client must keep
+    // surviving on recovery snapshots (which reset its lag), and the
+    // sloth must be cut by the recovery *deadline* — its snapshot can
+    // never land — not by racing the lag counter.
+    let config = NetConfig {
+        forwarder: ForwarderMode::Pooled(2),
+        outbound_capacity: 2,
+        lag_limit: 10_000,
+        critical_send_timeout: Duration::from_millis(500),
+        read_tick: Duration::from_millis(10),
+        ..NetConfig::default()
+    };
+    let (server, _collab) = serve(&["alice", "sloth"], &["doc"], config);
+    let addr = server.local_addr();
+
+    let good = NetClient::connect(addr, "alice").unwrap();
+    let doc = good.subscribe("doc").unwrap();
+
+    // The sloth subscribes, then never reads again.
+    let sloth = std::net::TcpStream::connect(addr).unwrap();
+    {
+        use std::io::{Read, Write};
+        let mut s = &sloth;
+        s.write_all(
+            &tendax_net::Frame::Hello {
+                version: tendax_net::PROTOCOL_VERSION,
+                user: "sloth".into(),
+                platform: "Linux".into(),
+                token: String::new(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        // Read a few bytes (Welcome) then go silent.
+        let mut buf = [0u8; 64];
+        let _ = s.read(&mut buf);
+        s.write_all(&tendax_net::Frame::Subscribe { name: "doc".into() }.encode())
+            .unwrap();
+    }
+
+    // Flood until the sloth's queue overflows and the policy fires.
+    let deadline = Instant::now() + WAIT;
+    let mut last_ts = 0;
+    while server.stats().slow_disconnects == 0 {
+        assert!(Instant::now() < deadline, "slow consumer never cut");
+        let (_, ts) = good
+            .insert(doc, 0, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+            .unwrap();
+        last_ts = ts;
+    }
+    // The healthy client is unaffected.
+    assert!(good.wait_synced(doc, last_ts, WAIT));
+    good.ping().unwrap();
+}

@@ -53,6 +53,10 @@ impl Default for Options {
 /// Aggregate engine statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Stats {
+    /// Transactions begun (`begin` + `begin_at`). With `commits` and
+    /// `aborts` this gives the retry amplification a workload pays:
+    /// `txns_begun / commits` > 1 means optimistic losers re-ran.
+    pub txns_begun: u64,
     pub commits: u64,
     pub aborts: u64,
     pub conflicts: u64,
@@ -120,6 +124,7 @@ pub struct TableStats {
 
 #[derive(Debug, Default)]
 struct Counters {
+    txns_begun: AtomicU64,
     commits: AtomicU64,
     aborts: AtomicU64,
     conflicts: AtomicU64,
@@ -420,6 +425,10 @@ impl Database {
     /// Begin a snapshot-isolated transaction.
     pub fn begin(&self) -> Transaction {
         let id = TxnId(self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed));
+        self.inner
+            .counters
+            .txns_begun
+            .fetch_add(1, Ordering::Relaxed);
         // The snapshot must be loaded *while holding* the `active` lock:
         // vacuum computes its horizon under this same lock, so a snapshot
         // read before registration could otherwise be overtaken by a
@@ -446,6 +455,10 @@ impl Database {
     /// vacuum has already pruned versions the snapshot is entitled to.
     pub fn begin_at(&self, snapshot: Ts) -> Result<Transaction> {
         let id = TxnId(self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed));
+        self.inner
+            .counters
+            .txns_begun
+            .fetch_add(1, Ordering::Relaxed);
         let snapshot = {
             let mut active = self.inner.active.lock();
             let snapshot = snapshot.min(self.inner.sequencer.watermark());
@@ -926,6 +939,7 @@ impl Database {
             .map(GroupWal::stats)
             .unwrap_or_default();
         Stats {
+            txns_begun: self.inner.counters.txns_begun.load(Ordering::Relaxed),
             commits: self.inner.counters.commits.load(Ordering::Relaxed),
             aborts: self.inner.counters.aborts.load(Ordering::Relaxed),
             conflicts: self.inner.counters.conflicts.load(Ordering::Relaxed),

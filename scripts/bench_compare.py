@@ -30,6 +30,18 @@ from pathlib import Path
 UNIT_SUFFIXES = ("_us", "_ms", "_bytes")
 
 
+def seed_baseline(new: Path, baseline: Path) -> None:
+    """First run for this bench key: record the newest line as the
+    baseline so the series exists for the next comparison. A missing
+    baseline used to short-circuit to "nothing to compare" forever —
+    the gate never armed for newly added benches."""
+    baseline.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(last_line(new), separators=(",", ":"))
+    with baseline.open("a") as f:
+        f.write(line + "\n")
+    print(f"bench_compare: no baseline at {baseline}; seeded it from {new}")
+
+
 def last_line(path: Path) -> dict:
     lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
     if not lines:
@@ -56,9 +68,47 @@ def throughput_keys(obj: dict) -> list[str]:
     ]
 
 
+def self_test() -> int:
+    """Exercise the seeding and comparison paths against temp files."""
+    import subprocess
+    import tempfile
+
+    script = Path(__file__).resolve()
+    with tempfile.TemporaryDirectory(prefix="bench-compare-selftest-") as td:
+        tmp = Path(td)
+        new = tmp / "fake_bench.json"
+        baseline = tmp / "baseline.json"
+        new.write_text('{"quick":true,"fake_ops_per_s":1000.0}\n')
+
+        # 1. Missing baseline: must seed it and pass.
+        r = subprocess.run([sys.executable, script, new, baseline])
+        assert r.returncode == 0, "missing baseline must seed, not fail"
+        assert baseline.exists(), "baseline was not seeded"
+        assert json.loads(baseline.read_text())["fake_ops_per_s"] == 1000.0
+
+        # 2. Seeded baseline, result within threshold: pass.
+        new.write_text('{"quick":true,"fake_ops_per_s":950.0}\n')
+        r = subprocess.run([sys.executable, script, new, baseline])
+        assert r.returncode == 0, "5% dip must pass the 20% threshold"
+
+        # 3. Past the threshold: fail.
+        new.write_text('{"quick":true,"fake_ops_per_s":100.0}\n')
+        r = subprocess.run([sys.executable, script, new, baseline])
+        assert r.returncode == 1, "90% drop must be flagged as a regression"
+
+        # 4. Empty baseline file behaves like a missing one.
+        empty = tmp / "empty.json"
+        empty.write_text("\n")
+        r = subprocess.run([sys.executable, script, new, empty])
+        assert r.returncode == 0, "empty baseline must seed, not crash"
+        assert json.loads(empty.read_text())["fake_ops_per_s"] == 100.0
+    print("bench_compare: self-test ok")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("new", type=Path, help="fresh bench JSONL file")
+    ap.add_argument("new", type=Path, nargs="?", help="fresh bench JSONL file")
     ap.add_argument(
         "baseline",
         type=Path,
@@ -71,14 +121,24 @@ def main() -> int:
         default=20.0,
         help="regression threshold in percent (default 20)",
     )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in sanity checks and exit",
+    )
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.new is None:
+        ap.error("NEW.json is required unless --self-test")
 
     baseline_path = args.baseline
     if baseline_path is None:
         repo = Path(__file__).resolve().parent.parent
         baseline_path = repo / "bench_results" / args.new.name
-    if not baseline_path.exists():
-        print(f"bench_compare: no baseline at {baseline_path}; nothing to compare")
+    if not baseline_path.exists() or not baseline_path.read_text().strip():
+        seed_baseline(args.new, baseline_path)
         return 0
 
     new = last_line(args.new)

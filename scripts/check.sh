@@ -28,10 +28,22 @@ cargo test -q -p tendax-storage --test merge_commit
 echo "==> transport loopback smoke (wire codec + TCP e2e convergence)"
 cargo test -q -p tendax-net --test codec --test loopback
 
+echo "==> connection-capacity + forwarder-pool suite"
+cargo test -q -p tendax-net --test capacity
+
+echo "==> lan-party determinism suite (schedule digest + byte identity)"
+cargo test -q -p tendax-bench --test lan_party_determinism
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
+
+echo "==> bench_compare.py --self-test"
+python3 scripts/bench_compare.py --self-test
+
+echo "==> lan-party smoke (small-N, all three drivers)"
+cargo bench -p tendax-bench --bench lan_party -- --test
 
 echo "==> all checks passed"
