@@ -22,7 +22,11 @@
 //!
 //! Pass `--test` for a small smoke run, `--seed N` to pick a schedule,
 //! and `--json <path>` to append one JSON line per mode (consumed by
-//! `scripts/bench_lanparty.sh` and `scripts/bench_compare.py`).
+//! `scripts/bench_lanparty.sh` and `scripts/bench_compare.py`). Set
+//! `TENDAX_LANPARTY_DURABILITY=fsync` (with `TENDAX_WAL_SHARDS=N`) to
+//! run against a file-backed WAL and emit the A11 shard receipts
+//! (`wal_shard_count`, per-shard fsyncs, flush wait, peak concurrent
+//! flush leaders) in every line.
 
 use std::path::PathBuf;
 
@@ -100,12 +104,24 @@ fn print_report(r: &mut RunReport) {
     }
     if let Some(net) = &r.net {
         println!(
-            "    net: accepted {} forwarded {} dropped {} slow_disconnects {} forwarder_threads {}",
+            "    net: accepted {} forwarded {} dropped {} slow_disconnects {} forwarder_threads {} pool_spurious_wakeups {}",
             net.accepted,
             net.events_forwarded,
             net.frames_dropped,
             net.slow_disconnects,
-            net.forwarder_threads
+            net.forwarder_threads,
+            net.pool_spurious_wakeups
+        );
+    }
+    if let Some(w) = &r.wal {
+        println!(
+            "    wal: shards {} max_leaders {} fsyncs {:?} flush_wait {:.1}ms batches {} records {}",
+            w.shard_count,
+            w.max_concurrent_flush_leaders,
+            w.per_shard_fsyncs,
+            w.flush_wait_ms,
+            w.batches,
+            w.records
         );
     }
 }
@@ -157,9 +173,30 @@ fn json_line(cfg: &Config, r: &mut RunReport) -> String {
             "net_forwarder_threads".into(),
             JsonValue::U64(net.forwarder_threads),
         ));
+        pairs.push((
+            "net_pool_spurious_wakeups".into(),
+            JsonValue::U64(net.pool_spurious_wakeups),
+        ));
     }
     if let Some(t) = r.threads {
         pairs.push(("peak_threads".into(), JsonValue::U64(t)));
+    }
+    if let Some(w) = &r.wal {
+        pairs.push((
+            "wal_shard_count".into(),
+            JsonValue::U64(w.shard_count as u64),
+        ));
+        pairs.push((
+            "wal_max_leaders".into(),
+            JsonValue::U64(w.max_concurrent_flush_leaders),
+        ));
+        pairs.push(("wal_fsyncs".into(), JsonValue::U64(w.fsyncs)));
+        pairs.push(("wal_batches".into(), JsonValue::U64(w.batches)));
+        pairs.push(("wal_records".into(), JsonValue::U64(w.records)));
+        pairs.push(("wal_flush_wait_ms".into(), JsonValue::F64(w.flush_wait_ms)));
+        for (k, &n) in w.per_shard_fsyncs.iter().enumerate() {
+            pairs.push((format!("wal_fsyncs_shard{k}"), JsonValue::U64(n)));
+        }
     }
     json_object(&pairs)
 }

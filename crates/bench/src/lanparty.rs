@@ -32,8 +32,8 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tendax_core::{
-    Assignee, DocId, EditorDoc, FolderRule, Platform, SearchEngine, SearchQuery, TaskSpec, Tendax,
-    UserId,
+    Assignee, DocId, DurabilityLevel, EditorDoc, FolderRule, Options, Platform, SearchEngine,
+    SearchQuery, TaskSpec, Tendax, UserId,
 };
 use tendax_net::{ClientConfig, NetClient, NetConfig, NetServer};
 
@@ -300,6 +300,30 @@ impl Schedule {
     }
 }
 
+/// WAL flush receipts of one run — the experiment A11 counters. Only
+/// present for durable fixtures (see [`build_fixture`]); the default
+/// in-memory fixture has no WAL.
+#[derive(Debug, Clone)]
+pub struct WalReceipt {
+    /// Shard files the WAL wrote to (1 = single-file layout).
+    pub shard_count: usize,
+    /// High-water mark of flush leaders concurrently in flight — the
+    /// "parallel fsync actually happened" receipt; at most 1 in the
+    /// single-file layout.
+    pub max_concurrent_flush_leaders: u64,
+    /// `sync_data` calls, summed over shards.
+    pub fsyncs: u64,
+    /// Group-commit batches flushed, summed over shards.
+    pub batches: u64,
+    /// WAL records covered by those batches.
+    pub records: u64,
+    /// Total time committers spent waiting for durability — the
+    /// fsync-queue wait the sharding exists to shrink.
+    pub flush_wait_ms: f64,
+    /// `fsyncs` broken out per shard (index = shard number).
+    pub per_shard_fsyncs: Vec<u64>,
+}
+
 /// What one driver run produced.
 #[derive(Debug)]
 pub struct RunReport {
@@ -320,6 +344,8 @@ pub struct RunReport {
     /// thread count observed during the run.
     pub net: Option<tendax_net::NetServerStats>,
     pub threads: Option<u64>,
+    /// Durable fixtures only: the WAL flush receipts.
+    pub wal: Option<WalReceipt>,
 }
 
 impl RunReport {
@@ -335,8 +361,47 @@ struct Corpus {
     docs: Vec<DocId>,
 }
 
+/// `TENDAX_LANPARTY_DURABILITY=fsync|buffered|none` swaps the bench
+/// fixture from in-memory to a file-backed WAL at that durability level
+/// (shard count via `TENDAX_WAL_SHARDS`, picked up by
+/// `Options::default`), turning a run into a WAL-receipt generator.
+fn durable_fixture_level() -> Option<DurabilityLevel> {
+    match std::env::var("TENDAX_LANPARTY_DURABILITY")
+        .ok()?
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "fsync" => Some(DurabilityLevel::Fsync),
+        "buffered" => Some(DurabilityLevel::Buffered),
+        "none" => Some(DurabilityLevel::None),
+        _ => None,
+    }
+}
+
 fn build_fixture(config: &WorkloadConfig) -> Corpus {
-    let tendax = Tendax::in_memory().expect("in-memory instance");
+    let tendax = match durable_fixture_level() {
+        Some(durability) => {
+            // Each driver gets a fresh log file; the OS temp dir is the
+            // same scratch space the micro-benches use.
+            static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!("tendax-lanparty-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("bench tmp dir");
+            let path = dir.join(format!(
+                "fixture-{}.wal",
+                SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_file(&path);
+            Tendax::open(
+                &path,
+                Options {
+                    durability,
+                    ..Options::default()
+                },
+            )
+            .expect("durable instance")
+        }
+        None => Tendax::in_memory().expect("in-memory instance"),
+    };
     let users: Vec<UserId> = (0..config.users)
         .map(|i| tendax.create_user(&format!("user{i}")).expect("user"))
         .collect();
@@ -352,6 +417,26 @@ fn build_fixture(config: &WorkloadConfig) -> Corpus {
         users,
         docs,
     }
+}
+
+/// Snapshot the corpus database's WAL counters (`None` for the
+/// in-memory fixture, which has no WAL).
+fn wal_receipt(corpus: &Corpus) -> Option<WalReceipt> {
+    let db = corpus.tendax.textdb().database();
+    let shard_count = db.wal_shard_count();
+    if shard_count == 0 {
+        return None;
+    }
+    let shards = db.wal_shard_stats();
+    Some(WalReceipt {
+        shard_count,
+        max_concurrent_flush_leaders: db.wal_max_concurrent_flush_leaders(),
+        fsyncs: shards.iter().map(|s| s.fsyncs).sum(),
+        batches: shards.iter().map(|s| s.batches_flushed).sum(),
+        records: shards.iter().map(|s| s.records_flushed).sum(),
+        flush_wait_ms: shards.iter().map(|s| s.flush_wait_ns).sum::<u64>() as f64 / 1e6,
+        per_shard_fsyncs: shards.iter().map(|s| s.fsyncs).collect(),
+    })
 }
 
 /// Hash every document's final text (fresh handles, so the database —
@@ -518,6 +603,7 @@ pub fn run_in_process(schedule: &Schedule) -> RunReport {
         txns_begun: stats1.txns_begun - stats0.txns_begun,
         net: None,
         threads: None,
+        wal: wal_receipt(&corpus),
     }
 }
 
@@ -648,6 +734,7 @@ pub fn run_tcp(schedule: &Schedule, net_config: NetConfig, mode: &'static str) -
         txns_begun: stats1.txns_begun - stats0.txns_begun,
         net: Some(net),
         threads: Some(peak_threads),
+        wal: wal_receipt(&corpus),
     }
 }
 

@@ -278,6 +278,10 @@ impl Transport for LanBus {
     fn register_publish_hook(&self, hook: Box<dyn Fn() -> bool + Send + Sync>) {
         LanBus::register_publish_hook(self, hook);
     }
+
+    fn supports_publish_hook(&self) -> bool {
+        true
+    }
 }
 
 /// A receiver of document events, latency-gated.

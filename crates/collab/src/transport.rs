@@ -59,6 +59,15 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
     /// Transports without a notification path may ignore this (the
     /// default), in which case consumers fall back to polling.
     fn register_publish_hook(&self, _hook: Box<dyn Fn() -> bool + Send + Sync>) {}
+
+    /// Whether [`Transport::register_publish_hook`] actually delivers
+    /// notifications. Consumers that multiplex subscriptions use this
+    /// to choose between pure event-driven parking (`true`) and a
+    /// polling fallback tick (`false`, the default — matching the
+    /// default no-op hook registration).
+    fn supports_publish_hook(&self) -> bool {
+        false
+    }
 }
 
 /// The receiving end of one document subscription.

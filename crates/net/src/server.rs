@@ -121,6 +121,11 @@ pub struct NetServerStats {
     /// one per subscription in [`ForwarderMode::PerSubscription`], the
     /// fixed worker count in [`ForwarderMode::Pooled`].
     pub forwarder_threads: u64,
+    /// Pooled-forwarder wakeups whose following pass over the task
+    /// queue delivered nothing. With a hook-driven transport these
+    /// should stay near zero; a climbing count means workers are being
+    /// notified (or tick-polled) without work to do.
+    pub pool_spurious_wakeups: u64,
 }
 
 #[derive(Debug, Default)]
@@ -133,6 +138,7 @@ struct StatCells {
     events_forwarded: AtomicU64,
     capacity_rejects: AtomicU64,
     forwarder_threads: AtomicU64,
+    pool_spurious_wakeups: AtomicU64,
 }
 
 /// Bounded outbound frame queue with a kill switch.
@@ -377,6 +383,7 @@ impl NetServer {
             events_forwarded: self.stats.events_forwarded.load(Ordering::Relaxed),
             capacity_rejects: self.stats.capacity_rejects.load(Ordering::Relaxed),
             forwarder_threads: self.stats.forwarder_threads.load(Ordering::Relaxed),
+            pool_spurious_wakeups: self.stats.pool_spurious_wakeups.load(Ordering::Relaxed),
         }
     }
 
@@ -512,9 +519,11 @@ impl SubState {
 }
 
 /// How long a worker parks once a full pass over the task queue
-/// produced no events. Parked workers are woken early by the
-/// transport's publish hook, so this is a fallback tick (lost-wakeup
-/// races, hookless transports), not the expected delivery latency.
+/// produced no events, on a transport whose publish hook is a no-op
+/// ([`Transport::supports_publish_hook`] is `false`): with no
+/// notification path, polling is the only way to observe new events.
+/// Hook-driven transports park without any timeout instead — the
+/// epoch-checked condvar protocol below makes that safe.
 const POOL_IDLE_BACKOFF: Duration = Duration::from_millis(1);
 
 /// How many tasks a pool worker claims from the shared queue per lock
@@ -551,9 +560,22 @@ struct PumpTask {
 /// parks ([`POOL_IDLE_BACKOFF`]) after a whole pass found nothing.
 struct ForwarderPool {
     tasks: Mutex<VecDeque<PumpTask>>,
-    /// Signalled when tasks are submitted or shutdown begins.
+    /// Signalled when tasks are submitted, events are published, or
+    /// shutdown begins.
     wake: Condvar,
     shutdown: AtomicBool,
+    /// The transport delivers publish notifications
+    /// ([`Transport::supports_publish_hook`]): workers park on the
+    /// condvar without a fallback tick.
+    hooked: bool,
+    /// Wake-signal generation, bumped by every submit/publish/shutdown
+    /// before its notify. A worker records the epoch at the start of a
+    /// pass and parks only if it is unchanged when it takes the queue
+    /// lock — the poll happens outside that lock, so this is what
+    /// closes the "published right after an empty poll" window that an
+    /// untimed park would otherwise sleep through. Signals notify
+    /// *under* the queue lock, so a parked worker can never miss one.
+    epoch: AtomicU64,
     collab: CollabServer,
     config: NetConfig,
     stats: Arc<StatCells>,
@@ -575,10 +597,13 @@ impl ForwarderPool {
         config: NetConfig,
         stats: Arc<StatCells>,
     ) -> Arc<ForwarderPool> {
+        let hooked = collab.transport().supports_publish_hook();
         let pool = Arc::new(ForwarderPool {
             tasks: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            hooked,
+            epoch: AtomicU64::new(0),
             collab,
             config,
             stats,
@@ -597,17 +622,18 @@ impl ForwarderPool {
         }
         drop(handles);
         // Wake parked workers the moment anything is published, so the
-        // pool delivers with commit-driven latency instead of the idle
-        // backoff; [`POOL_IDLE_BACKOFF`] remains only as the fallback
-        // for transports that ignore the hook. Weak: the hook must not
-        // keep the pool (and its collab/bus cycle) alive — once the
-        // pool is gone the hook deregisters itself by returning false.
+        // pool delivers with commit-driven latency instead of polling.
+        // On a hooked transport this is the *only* wake source for
+        // parked idle workers, so the signal follows the epoch protocol
+        // (see [`ForwarderPool::signal`]). Weak: the hook must not keep
+        // the pool (and its collab/bus cycle) alive — once the pool is
+        // gone the hook deregisters itself by returning false.
         let weak = Arc::downgrade(&pool);
         pool.collab
             .transport()
             .register_publish_hook(Box::new(move || match weak.upgrade() {
                 Some(pool) => {
-                    pool.wake.notify_all();
+                    pool.signal();
                     true
                 }
                 None => false,
@@ -615,15 +641,28 @@ impl ForwarderPool {
         pool
     }
 
+    /// Bump the wake epoch and notify every parked worker. The notify
+    /// happens under the queue lock: a worker holds that lock from its
+    /// final epoch check until the condvar takes it inside `wait`, so
+    /// the signal either lands before the check (epoch mismatch, no
+    /// park) or after the park (notify delivered) — never in between.
+    fn signal(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+        let _guard = self.tasks.lock();
+        self.wake.notify_all();
+    }
+
     /// Register a new subscription with the pool.
     fn submit(&self, task: PumpTask) {
-        self.tasks.lock().push_back(task);
-        self.wake.notify_one();
+        self.epoch.fetch_add(1, Ordering::Release);
+        let mut guard = self.tasks.lock();
+        guard.push_back(task);
+        self.wake.notify_all();
     }
 
     fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
-        self.wake.notify_all();
+        self.signal();
         let handles: Vec<_> = self.workers.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
@@ -634,14 +673,23 @@ impl ForwarderPool {
 
     fn worker_loop(self: Arc<Self>) {
         // Consecutive unproductive visits. Once a full pass over the
-        // queue yields no events, the worker parks briefly instead of
-        // spinning through non-blocking polls.
+        // queue yields no events, the worker parks instead of spinning
+        // through non-blocking polls.
         let mut idle_streak = 0usize;
+        // The previous iteration ended in a park. If the pass that
+        // follows the wakeup delivers nothing, the wakeup was spurious
+        // (counted so receipts can prove hook-driven parking is quiet).
+        let mut woke = false;
         let mut batch: Vec<PumpTask> = Vec::with_capacity(POOL_VISIT_BATCH);
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
+            // Epoch at the start of the pass: the polls below run
+            // outside the queue lock, so before parking the worker
+            // re-checks this under the lock — any signal since (publish,
+            // submit, shutdown) aborts the park instead of being lost.
+            let pass_epoch = self.epoch.load(Ordering::Acquire);
             // Take a batch of tasks in one lock acquisition: with
             // hundreds of subscriptions and a handful of workers, the
             // shared queue's mutex is the scaling bottleneck, not the
@@ -654,15 +702,34 @@ impl ForwarderPool {
                 len
             };
             if batch.is_empty() {
+                if std::mem::take(&mut woke) {
+                    self.stats
+                        .pool_spurious_wakeups
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 let mut guard = self.tasks.lock();
                 if guard.is_empty() && !self.shutdown.load(Ordering::Acquire) {
-                    self.wake.wait_for(&mut guard, Duration::from_millis(20));
+                    // Queue emptiness is guarded by this lock and every
+                    // submit notifies under it, so the hooked park needs
+                    // no timeout at all; hookless transports keep a tick
+                    // only to notice events, not tasks.
+                    if self.hooked {
+                        self.wake.wait(&mut guard);
+                    } else {
+                        self.wake.wait_for(&mut guard, Duration::from_millis(20));
+                    }
+                    woke = true;
                 }
                 idle_streak = 0;
                 continue;
             }
             let visited = batch.len();
             let mut any_progress = false;
+            // A surviving task mid-recovery waits on *queue space*, which
+            // frees when the connection's writer drains — no pool signal
+            // fires for that. A worker that just requeued such a task
+            // must keep a retry tick instead of parking untimed.
+            let mut needs_tick = false;
             let mut survivors: Vec<PumpTask> = Vec::with_capacity(visited);
             for mut task in batch.drain(..) {
                 if task.stop.load(Ordering::Acquire) || task.shared.is_dead() {
@@ -671,6 +738,7 @@ impl ForwarderPool {
                 let (keep, progress) = self.pump(&mut task);
                 any_progress |= progress;
                 if keep {
+                    needs_tick |= task.lost;
                     survivors.push(task);
                 }
             }
@@ -679,13 +747,32 @@ impl ForwarderPool {
             }
             if any_progress {
                 idle_streak = 0;
+                woke = false;
             } else {
+                if std::mem::take(&mut woke) {
+                    self.stats
+                        .pool_spurious_wakeups
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 idle_streak += visited;
                 if idle_streak >= queue_len {
                     idle_streak = 0;
                     let mut guard = self.tasks.lock();
                     if !self.shutdown.load(Ordering::Acquire) {
-                        self.wake.wait_for(&mut guard, POOL_IDLE_BACKOFF);
+                        if self.hooked && !needs_tick {
+                            // Pure condvar parking: sleep only if no
+                            // signal has fired since the pass began.
+                            if self.epoch.load(Ordering::Acquire) == pass_epoch {
+                                self.wake.wait(&mut guard);
+                                woke = true;
+                            }
+                        } else if needs_tick {
+                            self.wake.wait_for(&mut guard, POOL_RECOVERY_TRY);
+                            woke = true;
+                        } else {
+                            self.wake.wait_for(&mut guard, POOL_IDLE_BACKOFF);
+                            woke = true;
+                        }
                     }
                 }
             }

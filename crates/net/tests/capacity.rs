@@ -198,3 +198,45 @@ fn pooled_forwarder_cuts_slow_consumer() {
     assert!(good.wait_synced(doc, last_ts, WAIT));
     good.ping().unwrap();
 }
+
+/// Hook-driven parking regression: on a transport that delivers publish
+/// notifications (the in-process bus), pooled workers must park on the
+/// condvar with **no fallback tick** — a quiet server makes no wakeups
+/// at all, so the spurious-wakeup counter stays flat while idle, and
+/// the first publish after the quiet period still wakes the pool
+/// immediately (no lost-wakeup window between a poll and the park).
+#[test]
+fn hooked_pool_parks_without_fallback_tick() {
+    let config = NetConfig {
+        forwarder: ForwarderMode::Pooled(2),
+        ..NetConfig::default()
+    };
+    let (server, _collab) = serve(&["alice", "bob"], &["doc"], config);
+    let addr = server.local_addr();
+
+    let a = NetClient::connect(addr, "alice").unwrap();
+    let b = NetClient::connect(addr, "bob").unwrap();
+    let doc = a.subscribe("doc").unwrap();
+    assert_eq!(b.subscribe("doc").unwrap(), doc);
+
+    let (_, ts) = a.insert(doc, 0, "warmup").unwrap();
+    assert!(b.wait_synced(doc, ts, WAIT));
+
+    // Let in-flight passes drain, then require silence: with untimed
+    // parking every wakeup needs a signal, and nothing publishes here.
+    // A revived 1 ms (or 20 ms) tick would add dozens of unproductive
+    // wakeups over this window and trip the assertion.
+    std::thread::sleep(Duration::from_millis(100));
+    let before = server.stats().pool_spurious_wakeups;
+    std::thread::sleep(Duration::from_millis(400));
+    let after = server.stats().pool_spurious_wakeups;
+    assert!(
+        after - before <= 1,
+        "idle pool kept waking: {before} -> {after} spurious wakeups in 400ms"
+    );
+
+    // The parked pool must still wake instantly on the next commit.
+    let (_, ts) = a.insert(doc, 6, " over").unwrap();
+    assert!(b.wait_synced(doc, ts, WAIT), "publish after idle park lost");
+    assert_eq!(b.text(doc).unwrap(), "warmup over");
+}

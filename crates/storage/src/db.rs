@@ -16,7 +16,10 @@ use crate::schema::{Catalog, TableDef, TableId};
 use crate::table::{TableStore, Ts, VersionOp, WriteDescriptor, TS_LATEST};
 use crate::txn::{validate_writes, MergePlan, Transaction, TxnId, WriteOp};
 use crate::vfs::{os_vfs, Vfs};
-use crate::wal::{DurabilityLevel, GroupWal, WalFile, WalOp, WalRecord, WalTicket, WalWrite};
+use crate::wal::{
+    discover_shards_on, recover_sharded_on, shard_path, DurabilityLevel, GroupWal, ShardedWal,
+    WalFile, WalOp, WalRecord, WalShardStats, WalStats, WalTicket, WalWrite,
+};
 
 /// Database configuration.
 #[derive(Debug, Clone)]
@@ -36,16 +39,34 @@ pub struct Options {
     /// byte-identical to the pre-VFS engine; tests substitute
     /// [`crate::vfs::SimVfs`] to simulate crashes and injected faults.
     pub vfs: Arc<dyn Vfs>,
+    /// Number of WAL shard files. `1` (the default) is the single-file
+    /// WAL, byte-identical on disk and in behaviour to the pre-sharding
+    /// engine. `n > 1` partitions the log across `n` files (the base
+    /// path plus `.shard1`..`.shard<n-1>` siblings): commits over
+    /// disjoint tables land on different files and their group-commit
+    /// fsyncs run in parallel. An existing database whose on-disk
+    /// layout has a different shard count opens in that layout and
+    /// converges at the next checkpoint — re-shard on checkpoint, never
+    /// on open. The default reads `TENDAX_WAL_SHARDS` (clamped to
+    /// `1..=64`) so test/CI matrices can flip the layout without code
+    /// changes.
+    pub wal_shards: usize,
 }
 
 impl Default for Options {
     fn default() -> Self {
+        let wal_shards = std::env::var("TENDAX_WAL_SHARDS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .map(|n| n.clamp(1, 64))
+            .unwrap_or(1);
         Options {
             durability: DurabilityLevel::Buffered,
             clock: ClockMode::Logical,
             group_commit: true,
             maintenance: None,
             vfs: os_vfs(),
+            wal_shards,
         }
     }
 }
@@ -70,6 +91,10 @@ pub struct Stats {
     pub wal_records_flushed: u64,
     /// At `Fsync`, syncs avoided versus one-fsync-per-commit.
     pub wal_fsyncs_saved: u64,
+    /// Shard files the active WAL writes to (1 = single-file layout,
+    /// 0 = in-memory database). Per-shard counters are in
+    /// [`Database::wal_shard_stats`].
+    pub wal_shard_count: usize,
     /// Visible rows examined by scans (matching + skipped).
     pub rows_scanned: u64,
     /// Scanned rows rejected by a pushed-down predicate (never
@@ -140,6 +165,226 @@ struct Counters {
     true_overlap_conflicts: AtomicU64,
 }
 
+/// The WAL implementation behind [`WalBackend`]: exactly one of the two
+/// coordinators. `Single` is the pre-sharding [`GroupWal`], used for
+/// every 1-file layout so `wal_shards = 1` stays byte-identical in
+/// behaviour and on disk; `Sharded` is the multi-file parallel-fsync
+/// coordinator (never constructed with fewer than two files).
+#[derive(Debug)]
+enum WalMode {
+    Single(GroupWal),
+    Sharded(ShardedWal),
+}
+
+/// A durability ticket tagged with the layout generation it was issued
+/// under. A re-shard checkpoint swaps the [`WalMode`] and bumps the
+/// generation; everything staged under an older generation was made
+/// durable by that checkpoint's snapshot rename, so a stale ticket
+/// acks immediately instead of being misread by the new coordinator
+/// (whose barrier sequence numbers restart at zero).
+#[derive(Debug, Clone, Copy)]
+struct BackendTicket {
+    gen: u64,
+    ticket: WalTicket,
+}
+
+/// The database's WAL: a [`WalMode`] behind a mode lock, plus the shard
+/// count the layout should converge to. Commits and DDL take the mode
+/// lock shared; only a re-shard checkpoint (layout transition) takes it
+/// exclusively, under the exclusive commit latch, so the swap observes
+/// a fully quiesced pipeline.
+#[derive(Debug)]
+struct WalBackend {
+    mode: RwLock<(u64, WalMode)>,
+    /// Shard count from [`Options::wal_shards`]; applied at the next
+    /// checkpoint if the on-disk layout differs.
+    target_shards: usize,
+    group_commit: bool,
+    durability: DurabilityLevel,
+    vfs: Arc<dyn Vfs>,
+    base: PathBuf,
+}
+
+impl WalBackend {
+    fn enqueue(&self, rec: &WalRecord) -> Result<BackendTicket> {
+        let guard = self.mode.read();
+        let ticket = match &guard.1 {
+            WalMode::Single(w) => w.enqueue(rec)?,
+            WalMode::Sharded(w) => w.enqueue(rec)?,
+        };
+        Ok(BackendTicket {
+            gen: guard.0,
+            ticket,
+        })
+    }
+
+    fn stage_commit(&self, ts: Ts, rec: &WalRecord, route: u64) -> Result<BackendTicket> {
+        let guard = self.mode.read();
+        let ticket = match &guard.1 {
+            WalMode::Single(w) => w.stage_commit(ts, rec)?,
+            WalMode::Sharded(w) => w.stage_commit(ts, rec, route)?,
+        };
+        Ok(BackendTicket {
+            gen: guard.0,
+            ticket,
+        })
+    }
+
+    fn skip_commit(&self, ts: Ts) {
+        match &self.mode.read().1 {
+            WalMode::Single(w) => w.skip_commit(ts),
+            WalMode::Sharded(w) => w.skip_commit(ts),
+        }
+    }
+
+    fn wait_durable(&self, ticket: BackendTicket) -> Result<()> {
+        let guard = self.mode.read();
+        if guard.0 != ticket.gen {
+            // Issued under a layout that a re-shard checkpoint has since
+            // replaced: the snapshot rename made it durable.
+            return Ok(());
+        }
+        match &guard.1 {
+            WalMode::Single(w) => w.wait_durable(ticket.ticket),
+            WalMode::Sharded(w) => w.wait_durable(ticket.ticket),
+        }
+    }
+
+    fn stats(&self) -> WalStats {
+        match &self.mode.read().1 {
+            WalMode::Single(w) => w.stats(),
+            WalMode::Sharded(w) => w.stats(),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        match &self.mode.read().1 {
+            WalMode::Single(_) => 1,
+            WalMode::Sharded(w) => w.shard_count(),
+        }
+    }
+
+    fn shard_stats(&self) -> Vec<WalShardStats> {
+        match &self.mode.read().1 {
+            // The single-file WAL keeps aggregate counters only; shape
+            // them as the one shard they describe (at `Fsync` every
+            // batch is exactly one sync).
+            WalMode::Single(w) => {
+                let s = w.stats();
+                vec![WalShardStats {
+                    shard: 0,
+                    batches_flushed: s.batches_flushed,
+                    records_flushed: s.records_flushed,
+                    fsyncs: if w.durability() == DurabilityLevel::Fsync {
+                        s.batches_flushed
+                    } else {
+                        0
+                    },
+                    bytes_flushed: 0,
+                    flush_wait_ns: w.flush_wait_ns(),
+                }]
+            }
+            WalMode::Sharded(w) => w.shard_stats(),
+        }
+    }
+
+    fn max_concurrent_leaders(&self) -> u64 {
+        match &self.mode.read().1 {
+            WalMode::Single(w) => (w.stats().batches_flushed > 0) as u64,
+            WalMode::Sharded(w) => w.max_concurrent_leaders(),
+        }
+    }
+
+    fn size(&self) -> (u64, u64) {
+        match &self.mode.read().1 {
+            WalMode::Single(w) => w.size(),
+            WalMode::Sharded(w) => w.size(),
+        }
+    }
+
+    fn begin_rewrite(&self) -> Result<()> {
+        match &self.mode.read().1 {
+            WalMode::Single(w) => w.begin_rewrite(),
+            WalMode::Sharded(w) => w.begin_rewrite(),
+        }
+    }
+
+    fn finish_rewrite(&self, records: &[WalRecord]) -> Result<()> {
+        match &self.mode.read().1 {
+            WalMode::Single(w) => w.finish_rewrite(records),
+            WalMode::Sharded(w) => w.finish_rewrite(records),
+        }
+    }
+
+    /// Whether the next checkpoint must be a layout transition.
+    fn needs_reshard(&self) -> bool {
+        self.shard_count() != self.target_shards
+    }
+
+    /// Re-shard checkpoint: checkpoint in the **old** layout first (one
+    /// atomic tmp+rename commit point, siblings emptied), then converge
+    /// the file set to `target_shards` and swap coordinators. Must be
+    /// called with the commit pipeline quiesced (exclusive commit
+    /// latch); `watermark` is the commit watermark the snapshot
+    /// captures.
+    ///
+    /// Crash ordering: growing creates siblings ascending *after* the
+    /// snapshot rename — a crash between leaves the old layout with a
+    /// valid snapshot. Shrinking removes the highest-numbered sibling
+    /// first — discovery stops at the first missing sibling, so a
+    /// partial removal still presents a contiguous (empty) tail.
+    fn reshard(&self, records: &[WalRecord], watermark: Ts) -> Result<()> {
+        let mut guard = self.mode.write();
+        match &guard.1 {
+            WalMode::Single(w) => w.checkpoint(records)?,
+            WalMode::Sharded(w) => w.checkpoint(records)?,
+        }
+        let old_n = match &guard.1 {
+            WalMode::Single(_) => 1,
+            WalMode::Sharded(w) => w.shard_count(),
+        };
+        let new_n = self.target_shards;
+        let dir = self
+            .base
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."));
+        if new_n > old_n {
+            for k in old_n..new_n {
+                drop(WalFile::open_on(
+                    self.vfs.clone(),
+                    shard_path(&self.base, k),
+                    self.durability,
+                )?);
+            }
+            self.vfs.sync_dir(&dir)?;
+        } else {
+            for k in (new_n..old_n).rev() {
+                self.vfs.remove(&shard_path(&self.base, k))?;
+            }
+            self.vfs.sync_dir(&dir)?;
+        }
+        let files: Result<Vec<WalFile>> = (0..new_n)
+            .map(|k| WalFile::open_on(self.vfs.clone(), shard_path(&self.base, k), self.durability))
+            .collect();
+        let files = files?;
+        guard.1 = if new_n == 1 {
+            let file = files.into_iter().next().expect("new_n == 1");
+            WalMode::Single(GroupWal::new(
+                file,
+                self.durability,
+                self.group_commit,
+                watermark,
+            ))
+        } else {
+            WalMode::Sharded(ShardedWal::new(files, self.durability, watermark))
+        };
+        guard.0 += 1;
+        Ok(())
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct DbInner {
     catalog: RwLock<Catalog>,
@@ -160,7 +405,7 @@ pub(crate) struct DbInner {
     /// quiescing the pipeline.
     commit_latch: CommitLatch,
     /// Set once at open for durable databases; never set for in-memory.
-    wal: OnceLock<GroupWal>,
+    wal: OnceLock<WalBackend>,
     /// Serializes whole checkpoints (manual + maintenance). Taken
     /// *before* the exclusive commit latch so a checkpoint never waits
     /// out another checkpoint's swap-phase I/O while holding the latch
@@ -227,25 +472,78 @@ impl Database {
 
     /// Open (or create) a durable database whose WAL lives at `path`.
     /// Replays the log, recovering all committed state.
+    ///
+    /// The shard layout is discovered from disk, not taken from
+    /// [`Options::wal_shards`]: an existing database always opens in
+    /// the layout it crashed in (sibling files carry live frames) and
+    /// converges to the requested shard count at the next checkpoint.
+    /// Only a brand-new database is created in the target layout
+    /// directly.
     pub fn open(path: impl AsRef<Path>, options: Options) -> Result<Database> {
         let path = path.as_ref().to_path_buf();
         let db = Self::empty(Some(path.clone()), options.clock);
-        let (records, valid_len) = WalFile::replay_with_valid_len_on(&*options.vfs, &path)?;
-        db.apply_log(records)?;
-        // Repair a torn tail before appending: anything past the last
-        // valid frame is a crashed partial write.
-        WalFile::truncate_on(&*options.vfs, &path, valid_len)?;
-        let wal = WalFile::open_on(options.vfs.clone(), &path, options.durability)?;
-        // The WAL's drain cursor starts at the recovered watermark so
-        // the first post-restart commit (watermark + 1) drains first.
-        db.inner
-            .wal
-            .set(GroupWal::new(
+        let target = options.wal_shards.max(1);
+        let on_disk = discover_shards_on(&*options.vfs, &path);
+        let fresh = !options.vfs.exists(&path);
+        let mode = if on_disk > 1 {
+            // Sharded layout on disk: merge-replay the global contiguous
+            // commit prefix and repair every file's tail.
+            let rec = recover_sharded_on(&*options.vfs, &path, on_disk)?;
+            db.apply_log(rec.records)?;
+            // Aborted timestamps are elided from the replayed records
+            // but still consumed durable slots; the sequencer must
+            // start past them or it would re-allocate a timestamp that
+            // already has a frame in the log.
+            db.inner.sequencer.observe(rec.last_ts);
+            let files: Result<Vec<WalFile>> = (0..on_disk)
+                .map(|k| {
+                    WalFile::open_on(
+                        options.vfs.clone(),
+                        shard_path(&path, k),
+                        options.durability,
+                    )
+                })
+                .collect();
+            WalMode::Sharded(ShardedWal::new(files?, options.durability, rec.last_ts))
+        } else if fresh && target > 1 {
+            // Brand new database with a sharded target: create the full
+            // layout up front (nothing to replay, nothing to converge).
+            let files: Result<Vec<WalFile>> = (0..target)
+                .map(|k| {
+                    WalFile::open_on(
+                        options.vfs.clone(),
+                        shard_path(&path, k),
+                        options.durability,
+                    )
+                })
+                .collect();
+            WalMode::Sharded(ShardedWal::new(files?, options.durability, 0))
+        } else {
+            let (records, valid_len) = WalFile::replay_with_valid_len_on(&*options.vfs, &path)?;
+            db.apply_log(records)?;
+            // Repair a torn tail before appending: anything past the last
+            // valid frame is a crashed partial write.
+            WalFile::truncate_on(&*options.vfs, &path, valid_len)?;
+            let wal = WalFile::open_on(options.vfs.clone(), &path, options.durability)?;
+            // The WAL's drain cursor starts at the recovered watermark so
+            // the first post-restart commit (watermark + 1) drains first.
+            WalMode::Single(GroupWal::new(
                 wal,
                 options.durability,
                 options.group_commit,
                 db.last_commit_ts(),
             ))
+        };
+        db.inner
+            .wal
+            .set(WalBackend {
+                mode: RwLock::new((0, mode)),
+                target_shards: target,
+                group_commit: options.group_commit,
+                durability: options.durability,
+                vfs: options.vfs.clone(),
+                base: path,
+            })
             .expect("wal set once at open");
         if let Some(m) = options.maintenance {
             db.start_maintenance(m);
@@ -257,102 +555,125 @@ impl Database {
         let mut catalog = self.inner.catalog.write();
         let mut tables = self.inner.tables.write();
         for rec in records {
-            match rec {
-                WalRecord::Meta { next_ts, clock } => {
-                    self.inner.sequencer.observe(next_ts.saturating_sub(1));
-                    self.inner.clock.observe(clock);
+            self.apply_record(&mut catalog, &mut tables, rec)?;
+        }
+        Ok(())
+    }
+
+    fn apply_record(
+        &self,
+        catalog: &mut Catalog,
+        tables: &mut BTreeMap<TableId, Arc<RwLock<TableStore>>>,
+        rec: WalRecord,
+    ) -> Result<()> {
+        match rec {
+            WalRecord::Meta { next_ts, clock } => {
+                self.inner.sequencer.observe(next_ts.saturating_sub(1));
+                self.inner.clock.observe(clock);
+            }
+            WalRecord::CreateTable { id, def } => {
+                catalog.register_with_id(id, def.clone())?;
+                tables.insert(id, Arc::new(RwLock::new(TableStore::new(id, def))));
+            }
+            WalRecord::DropTable { id } => {
+                if let Ok(def) = catalog.definition(id) {
+                    let name = def.name.clone();
+                    catalog.remove(&name)?;
                 }
-                WalRecord::CreateTable { id, def } => {
-                    catalog.register_with_id(id, def.clone())?;
-                    tables.insert(id, Arc::new(RwLock::new(TableStore::new(id, def))));
-                }
-                WalRecord::DropTable { id } => {
-                    if let Ok(def) = catalog.definition(id) {
-                        let name = def.name.clone();
-                        catalog.remove(&name)?;
-                    }
-                    tables.remove(&id);
-                }
-                WalRecord::Commit {
-                    commit_ts, writes, ..
-                } => {
-                    for w in writes {
-                        let store = tables
-                            .get(&w.table)
-                            .ok_or(StorageError::UnknownTableId(w.table))?;
-                        let (op, desc) = match w.op {
-                            WalOp::Put(row) => {
-                                self.observe_row_clock(row.values());
-                                (VersionOp::Put(row), None)
-                            }
-                            WalOp::Delete => (VersionOp::Delete, None),
-                            // Compose the logged delta onto the row's
-                            // newest replayed state: this is commit order,
-                            // so the result is exactly the merged row the
-                            // commit published — and a torn log replays
-                            // the surviving prefix of merges faithfully.
-                            WalOp::Patch {
-                                fields,
-                                values,
-                                anchors,
-                            } => {
-                                self.observe_row_clock(&values);
-                                let guard = store.read();
-                                let base =
-                                    guard.visible(w.row, TS_LATEST).cloned().ok_or_else(|| {
-                                        StorageError::Internal(format!(
-                                            "WAL patch for row {:?} with no base version",
-                                            w.row
-                                        ))
-                                    })?;
-                                drop(guard);
-                                let mut merged = Row::clone(&base);
-                                for (&pos, val) in fields.iter().zip(values) {
-                                    merged.set(pos as usize, val);
-                                }
-                                (
-                                    VersionOp::Put(merged.into_shared()),
-                                    Some(Arc::new(WriteDescriptor::new(anchors, fields))),
-                                )
-                            }
-                        };
-                        store.write().apply_described(w.row, commit_ts, op, desc);
-                    }
-                    self.inner.sequencer.observe(commit_ts);
-                }
-                WalRecord::SnapshotRow {
-                    table,
-                    row,
-                    commit_ts,
-                    op,
-                } => {
+                tables.remove(&id);
+            }
+            WalRecord::Commit {
+                commit_ts, writes, ..
+            } => {
+                for w in writes {
                     let store = tables
-                        .get(&table)
-                        .ok_or(StorageError::UnknownTableId(table))?;
-                    let op = match op {
-                        WalOp::Put(r) => {
-                            self.observe_row_clock(r.values());
-                            VersionOp::Put(r)
+                        .get(&w.table)
+                        .ok_or(StorageError::UnknownTableId(w.table))?;
+                    let (op, desc) = match w.op {
+                        WalOp::Put(row) => {
+                            self.observe_row_clock(row.values());
+                            (VersionOp::Put(row), None)
                         }
-                        WalOp::Delete => VersionOp::Delete,
-                        // Checkpoints compact to full rows; a patch here
-                        // means the log writer and reader disagree.
-                        WalOp::Patch { .. } => {
-                            return Err(StorageError::Internal(
-                                "snapshot row cannot be a patch".into(),
-                            ))
+                        WalOp::Delete => (VersionOp::Delete, None),
+                        // Compose the logged delta onto the row's
+                        // newest replayed state: this is commit order,
+                        // so the result is exactly the merged row the
+                        // commit published — and a torn log replays
+                        // the surviving prefix of merges faithfully.
+                        WalOp::Patch {
+                            fields,
+                            values,
+                            anchors,
+                        } => {
+                            self.observe_row_clock(&values);
+                            let guard = store.read();
+                            let base =
+                                guard.visible(w.row, TS_LATEST).cloned().ok_or_else(|| {
+                                    StorageError::Internal(format!(
+                                        "WAL patch for row {:?} with no base version",
+                                        w.row
+                                    ))
+                                })?;
+                            drop(guard);
+                            let mut merged = Row::clone(&base);
+                            for (&pos, val) in fields.iter().zip(values) {
+                                merged.set(pos as usize, val);
+                            }
+                            (
+                                VersionOp::Put(merged.into_shared()),
+                                Some(Arc::new(WriteDescriptor::new(anchors, fields))),
+                            )
                         }
                     };
-                    store.write().apply(row, commit_ts, op);
-                    self.inner.sequencer.observe(commit_ts);
+                    store.write().apply_described(w.row, commit_ts, op, desc);
                 }
-                WalRecord::Watermark { table, next_row_id } => {
-                    if let Some(store) = tables.get(&table) {
-                        store
-                            .read()
-                            .observe_row_id(RowId(next_row_id.saturating_sub(1)));
+                self.inner.sequencer.observe(commit_ts);
+            }
+            WalRecord::SnapshotRow {
+                table,
+                row,
+                commit_ts,
+                op,
+            } => {
+                let store = tables
+                    .get(&table)
+                    .ok_or(StorageError::UnknownTableId(table))?;
+                let op = match op {
+                    WalOp::Put(r) => {
+                        self.observe_row_clock(r.values());
+                        VersionOp::Put(r)
                     }
+                    WalOp::Delete => VersionOp::Delete,
+                    // Checkpoints compact to full rows; a patch here
+                    // means the log writer and reader disagree.
+                    WalOp::Patch { .. } => {
+                        return Err(StorageError::Internal(
+                            "snapshot row cannot be a patch".into(),
+                        ))
+                    }
+                };
+                store.write().apply(row, commit_ts, op);
+                self.inner.sequencer.observe(commit_ts);
+            }
+            WalRecord::Watermark { table, next_row_id } => {
+                if let Some(store) = tables.get(&table) {
+                    store
+                        .read()
+                        .observe_row_id(RowId(next_row_id.saturating_sub(1)));
                 }
+            }
+            // A timestamp that was allocated, durably marked, but
+            // never committed (sharded WAL only): nothing to apply,
+            // but the sequencer must not hand the slot out again.
+            WalRecord::AbortMarker { commit_ts } => {
+                self.inner.sequencer.observe(commit_ts);
+            }
+            // Single-file replay of a log written by (or descended
+            // from) the sharded WAL — e.g. after a 4→1 re-shard
+            // checkpoint: unwrap and apply the inner record. Merged
+            // sharded recovery unwraps these itself.
+            WalRecord::Barrier { inner, .. } => {
+                self.apply_record(catalog, tables, *inner)?;
             }
         }
         Ok(())
@@ -628,7 +949,12 @@ impl Database {
             commit_ts,
             writes: wal_writes,
         };
-        let ticket = self.wal_stage(commit_ts, &rec)?;
+        // Shard routing key: the lowest table id this commit touches.
+        // Commits over disjoint tables thus land on different WAL shard
+        // files and their fsyncs overlap; commits sharing their lowest
+        // table serialize on one file, preserving that file's ts order.
+        let route = writes.keys().next().expect("non-empty writes").0 as u64;
+        let ticket = self.wal_stage(commit_ts, &rec, route)?;
 
         for ((tid, _), guard) in handles.iter().zip(guards.iter_mut()) {
             let ws = writes
@@ -690,7 +1016,7 @@ impl Database {
     /// Stage a non-commit record with the group-commit coordinator
     /// (no-op for an in-memory database). Caller must hold the commit
     /// latch in exclusive mode.
-    fn wal_enqueue(&self, rec: &WalRecord) -> Result<Option<WalTicket>> {
+    fn wal_enqueue(&self, rec: &WalRecord) -> Result<Option<BackendTicket>> {
         match self.inner.wal.get() {
             Some(wal) => Ok(Some(wal.enqueue(rec)?)),
             None => Ok(None),
@@ -700,16 +1026,23 @@ impl Database {
     /// Stage a commit record under its timestamp (no-op for an
     /// in-memory database). Called while holding the written tables'
     /// locks; the WAL drains frames in timestamp order on its own.
-    fn wal_stage(&self, commit_ts: Ts, rec: &WalRecord) -> Result<Option<WalTicket>> {
+    /// `route` — the lowest table id the commit touches — picks the
+    /// shard file in a sharded layout; the single-file WAL ignores it.
+    fn wal_stage(
+        &self,
+        commit_ts: Ts,
+        rec: &WalRecord,
+        route: u64,
+    ) -> Result<Option<BackendTicket>> {
         match self.inner.wal.get() {
-            Some(wal) => Ok(Some(wal.stage_commit(commit_ts, rec)?)),
+            Some(wal) => Ok(Some(wal.stage_commit(commit_ts, rec, route)?)),
             None => Ok(None),
         }
     }
 
     /// Block until the staged record is durable at the configured level.
     /// Must be called with no locks held.
-    fn wal_wait(&self, ticket: Option<WalTicket>) -> Result<()> {
+    fn wal_wait(&self, ticket: Option<BackendTicket>) -> Result<()> {
         match (self.inner.wal.get(), ticket) {
             (Some(wal), Some(t)) => wal.wait_durable(t),
             _ => Ok(()),
@@ -815,10 +1148,32 @@ impl Database {
         // happen while holding the exclusive latch, or every commit
         // stalls for the duration of a full file rewrite.
         let _ckpt = self.inner.checkpoint_lock.lock();
+        if wal.needs_reshard() {
+            // Layout transition (`Options::wal_shards` differs from the
+            // on-disk shard count): stop-the-world under the exclusive
+            // latch — checkpoint in the old layout, converge the file
+            // set, swap coordinators. Rare (once per re-configuration),
+            // so the lost copy/swap overlap doesn't matter.
+            let _quiesce = self.inner.commit_latch.exclusive();
+            let records = self.snapshot_records();
+            return wal.reshard(&records, self.inner.sequencer.watermark());
+        }
         // ---------------------------------------------------- copy phase
         let records = {
             let _quiesce = self.inner.commit_latch.exclusive();
             wal.begin_rewrite()?;
+            self.snapshot_records()
+        };
+        // ---------------------------------------------------- swap phase
+        wal.finish_rewrite(&records)
+    }
+
+    /// One record per piece of durable state at the current watermark:
+    /// the checkpoint snapshot. Caller must hold the exclusive commit
+    /// latch (quiesced: the watermark equals the newest allocated
+    /// timestamp).
+    fn snapshot_records(&self) -> Vec<WalRecord> {
+        {
             let catalog = self.inner.catalog.read();
             let tables = self.inner.tables.read();
             // Quiesced: no commit is in flight, so the watermark equals
@@ -865,9 +1220,7 @@ impl Database {
                 }
             }
             records
-        };
-        // ---------------------------------------------------- swap phase
-        wal.finish_rewrite(&records)
+        }
     }
 
     /// Start the background maintenance thread. Returns `false` (and
@@ -897,9 +1250,43 @@ impl Database {
     }
 
     /// `(bytes, records)` written to the WAL since open or the last
-    /// checkpoint; `(0, 0)` for in-memory databases.
+    /// checkpoint, summed across all shard files; `(0, 0)` for
+    /// in-memory databases.
     pub fn wal_size(&self) -> (u64, u64) {
-        self.inner.wal.get().map(GroupWal::size).unwrap_or((0, 0))
+        self.inner.wal.get().map(WalBackend::size).unwrap_or((0, 0))
+    }
+
+    /// Shard files the active WAL writes to (1 = single-file layout,
+    /// 0 = in-memory database).
+    pub fn wal_shard_count(&self) -> usize {
+        self.inner
+            .wal
+            .get()
+            .map(WalBackend::shard_count)
+            .unwrap_or(0)
+    }
+
+    /// Per-shard WAL flush counters (batches, records, fsyncs, bytes,
+    /// and the time committers routed to the shard spent waiting for
+    /// durability). Empty for in-memory databases; a single entry in
+    /// the single-file layout.
+    pub fn wal_shard_stats(&self) -> Vec<WalShardStats> {
+        self.inner
+            .wal
+            .get()
+            .map(WalBackend::shard_stats)
+            .unwrap_or_default()
+    }
+
+    /// High-water mark of WAL flush leaders concurrently in flight —
+    /// the "parallel fsync actually happened" receipt. At most 1 in the
+    /// single-file layout.
+    pub fn wal_max_concurrent_flush_leaders(&self) -> u64 {
+        self.inner
+            .wal
+            .get()
+            .map(WalBackend::max_concurrent_leaders)
+            .unwrap_or(0)
     }
 
     /// Estimated versions a vacuum could reclaim right now: stored
@@ -936,7 +1323,7 @@ impl Database {
             .inner
             .wal
             .get()
-            .map(GroupWal::stats)
+            .map(WalBackend::stats)
             .unwrap_or_default();
         Stats {
             txns_begun: self.inner.counters.txns_begun.load(Ordering::Relaxed),
@@ -949,6 +1336,12 @@ impl Database {
             wal_batches_flushed: wal.batches_flushed,
             wal_records_flushed: wal.records_flushed,
             wal_fsyncs_saved: wal.fsyncs_saved,
+            wal_shard_count: self
+                .inner
+                .wal
+                .get()
+                .map(WalBackend::shard_count)
+                .unwrap_or(0),
             rows_scanned: self.inner.counters.rows_scanned.load(Ordering::Relaxed),
             rows_skipped_by_predicate: self.inner.counters.rows_skipped.load(Ordering::Relaxed),
             point_gets: self.inner.counters.point_gets.load(Ordering::Relaxed),

@@ -71,4 +71,4 @@ pub use table::{Ts, WriteDescriptor, TS_LATEST};
 pub use txn::{Transaction, TxnId};
 pub use value::{DataType, Value};
 pub use vfs::{os_vfs, OsVfs, SimVfs, Vfs, VfsFile};
-pub use wal::{DurabilityLevel, WalStats};
+pub use wal::{shard_path, DurabilityLevel, WalShardStats, WalStats};

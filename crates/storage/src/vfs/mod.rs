@@ -80,6 +80,11 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
     /// A no-op if the file does not exist.
     fn truncate(&self, path: &Path, len: u64) -> Result<()>;
 
+    /// Remove the directory entry for `path`. A no-op if the file does
+    /// not exist. Durable only after [`Vfs::sync_dir`] on the parent —
+    /// a crash before that can resurrect the entry.
+    fn remove(&self, path: &Path) -> Result<()>;
+
     /// Fsync the directory containing `path`, making renames,
     /// creations, and truncations of entries within it durable.
     fn sync_dir(&self, path: &Path) -> Result<()>;
@@ -169,6 +174,14 @@ impl Vfs for OsVfs {
         // tail resurfaces underneath fresh appends and replays as
         // mid-log corruption.
         file.sync_all()?;
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> Result<()> {
+        if !path.exists() {
+            return Ok(());
+        }
+        std::fs::remove_file(path)?;
         Ok(())
     }
 

@@ -460,6 +460,27 @@ impl Vfs for SimVfs {
         Ok(())
     }
 
+    fn remove(&self, path: &Path) -> Result<()> {
+        let (dir, name) = split(path);
+        let mut st = self.state.lock();
+        if st.dirs.get(&dir).and_then(|d| d.live.get(&name)).is_none() {
+            return Ok(());
+        }
+        // Unlinking writes a directory entry: charged, and volatile
+        // until the parent is dir-synced (a crash can resurrect the
+        // entry, pointing at whatever image the inode kept).
+        match charge(&mut st) {
+            OpFate::Run => {}
+            OpFate::Tripped | OpFate::Dead => return Err(self.power_err()),
+        }
+        st.dirs
+            .get_mut(&dir)
+            .expect("checked above")
+            .live
+            .remove(&name);
+        Ok(())
+    }
+
     fn sync_dir(&self, path: &Path) -> Result<()> {
         let (dir, _) = split(path);
         let mut st = self.state.lock();
@@ -636,6 +657,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn unsynced_remove_resurrects_on_crash_synced_remove_sticks() {
+        let vfs = SimVfs::new(8);
+        let path = Path::new("/sim/doomed.wal");
+        write_synced(&vfs, path, b"bytes");
+        vfs.remove(path).unwrap();
+        assert!(!vfs.exists(path));
+        vfs.crash(); // removal was never dir-synced
+        assert!(vfs.exists(path), "unsynced unlink survived the crash");
+        vfs.remove(path).unwrap();
+        vfs.sync_dir(path).unwrap();
+        vfs.crash();
+        assert!(!vfs.exists(path));
+        // Removing a missing path is a no-op, not an error.
+        vfs.remove(Path::new("/sim/missing.wal")).unwrap();
     }
 
     #[test]

@@ -20,6 +20,8 @@ const TAG_DROP_TABLE: u8 = 3;
 const TAG_COMMIT: u8 = 4;
 const TAG_SNAPSHOT_ROW: u8 = 5;
 const TAG_WATERMARK: u8 = 6;
+const TAG_ABORT: u8 = 7;
+const TAG_BARRIER: u8 = 8;
 
 // Value tags.
 const VT_NULL: u8 = 0;
@@ -39,6 +41,11 @@ const OP_PATCH: u8 = 2;
 /// Encode a record to bytes (without the log's length/CRC framing).
 pub fn encode_record(rec: &WalRecord) -> Bytes {
     let mut b = BytesMut::with_capacity(64);
+    put_record(&mut b, rec);
+    b.freeze()
+}
+
+fn put_record(b: &mut BytesMut, rec: &WalRecord) {
     match rec {
         WalRecord::Meta { next_ts, clock } => {
             b.put_u8(TAG_META);
@@ -48,7 +55,7 @@ pub fn encode_record(rec: &WalRecord) -> Bytes {
         WalRecord::CreateTable { id, def } => {
             b.put_u8(TAG_CREATE_TABLE);
             b.put_u32_le(id.0);
-            put_table_def(&mut b, def);
+            put_table_def(b, def);
         }
         WalRecord::DropTable { id } => {
             b.put_u8(TAG_DROP_TABLE);
@@ -64,7 +71,7 @@ pub fn encode_record(rec: &WalRecord) -> Bytes {
             b.put_u64_le(*commit_ts);
             b.put_u32_le(writes.len() as u32);
             for w in writes {
-                put_write(&mut b, w);
+                put_write(b, w);
             }
         }
         WalRecord::SnapshotRow {
@@ -77,20 +84,44 @@ pub fn encode_record(rec: &WalRecord) -> Bytes {
             b.put_u32_le(table.0);
             b.put_u64_le(row.0);
             b.put_u64_le(*commit_ts);
-            put_op(&mut b, op);
+            put_op(b, op);
         }
         WalRecord::Watermark { table, next_row_id } => {
             b.put_u8(TAG_WATERMARK);
             b.put_u32_le(table.0);
             b.put_u64_le(*next_row_id);
         }
+        WalRecord::AbortMarker { commit_ts } => {
+            b.put_u8(TAG_ABORT);
+            b.put_u64_le(*commit_ts);
+        }
+        WalRecord::Barrier { barrier_ts, inner } => {
+            b.put_u8(TAG_BARRIER);
+            b.put_u64_le(*barrier_ts);
+            put_record(b, inner);
+        }
     }
-    b.freeze()
 }
 
 /// Decode a record previously produced by [`encode_record`].
 pub fn decode_record(mut data: &[u8]) -> Result<WalRecord> {
     let buf = &mut data;
+    let rec = get_record(buf, 0)?;
+    if !buf.is_empty() {
+        return Err(corrupt(format!("{} trailing bytes", buf.len())));
+    }
+    Ok(rec)
+}
+
+/// Nesting bound for [`WalRecord::Barrier`]. The engine writes barriers
+/// one level deep; the bound keeps a corrupt length-bombed log from
+/// recursing the decoder off the stack.
+const MAX_RECORD_DEPTH: u8 = 4;
+
+fn get_record(buf: &mut &[u8], depth: u8) -> Result<WalRecord> {
+    if depth > MAX_RECORD_DEPTH {
+        return Err(corrupt("record nesting too deep".into()));
+    }
     let tag = get_u8(buf)?;
     let rec = match tag {
         TAG_META => WalRecord::Meta {
@@ -128,11 +159,15 @@ pub fn decode_record(mut data: &[u8]) -> Result<WalRecord> {
             table: TableId(get_u32(buf)?),
             next_row_id: get_u64(buf)?,
         },
+        TAG_ABORT => WalRecord::AbortMarker {
+            commit_ts: get_u64(buf)?,
+        },
+        TAG_BARRIER => WalRecord::Barrier {
+            barrier_ts: get_u64(buf)?,
+            inner: Box::new(get_record(buf, depth + 1)?),
+        },
         t => return Err(corrupt(format!("unknown record tag {t}"))),
     };
-    if !buf.is_empty() {
-        return Err(corrupt(format!("{} trailing bytes", buf.len())));
-    }
     Ok(rec)
 }
 
@@ -510,6 +545,43 @@ mod tests {
             table: TableId(3),
             next_row_id: 1_000_001,
         });
+    }
+
+    #[test]
+    fn roundtrip_abort_marker() {
+        roundtrip(WalRecord::AbortMarker { commit_ts: 321 });
+    }
+
+    #[test]
+    fn roundtrip_barrier() {
+        roundtrip(WalRecord::Barrier {
+            barrier_ts: 55,
+            inner: Box::new(WalRecord::DropTable { id: TableId(2) }),
+        });
+        let def = TableDef::new("docs").column("id", DataType::Id);
+        roundtrip(WalRecord::Barrier {
+            barrier_ts: 0,
+            inner: Box::new(WalRecord::CreateTable {
+                id: TableId(1),
+                def,
+            }),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_overdeep_barrier_nesting() {
+        let mut rec = WalRecord::AbortMarker { commit_ts: 1 };
+        for _ in 0..16 {
+            rec = WalRecord::Barrier {
+                barrier_ts: 1,
+                inner: Box::new(rec),
+            };
+        }
+        let bytes = encode_record(&rec);
+        assert!(matches!(
+            decode_record(&bytes),
+            Err(StorageError::WalCorrupt { .. })
+        ));
     }
 
     #[test]

@@ -120,6 +120,10 @@ pub struct GroupWal {
     batches_flushed: AtomicU64,
     records_flushed: AtomicU64,
     fsyncs_saved: AtomicU64,
+    /// Total time committers spent inside [`GroupWal::wait_durable`]
+    /// for commit tickets (the fsync-queue wait; not counted at
+    /// `DurabilityLevel::None`, where the wait is a buffer drain).
+    flush_wait_ns: AtomicU64,
 }
 
 impl GroupWal {
@@ -140,6 +144,7 @@ impl GroupWal {
             batches_flushed: AtomicU64::new(0),
             records_flushed: AtomicU64::new(0),
             fsyncs_saved: AtomicU64::new(0),
+            flush_wait_ns: AtomicU64::new(0),
         }
     }
 
@@ -301,9 +306,28 @@ impl GroupWal {
     pub fn wait_durable(&self, ticket: WalTicket) -> Result<()> {
         match ticket {
             WalTicket::Seq(seq) => self.wait_seq(seq),
-            WalTicket::Commit(ts) if self.group => self.wait_commit_group(ts),
-            WalTicket::Commit(ts) => self.wait_commit_inline(ts),
+            WalTicket::Commit(ts) => {
+                let started = std::time::Instant::now();
+                let res = if self.group {
+                    self.wait_commit_group(ts)
+                } else {
+                    self.wait_commit_inline(ts)
+                };
+                if self.durability != DurabilityLevel::None {
+                    self.flush_wait_ns
+                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+                res
+            }
         }
+    }
+
+    /// Total nanoseconds commit tickets spent in
+    /// [`GroupWal::wait_durable`] — the same definition as the sharded
+    /// log's per-shard `flush_wait_ns`, so the A11 single-file vs
+    /// sharded comparison measures one quantity.
+    pub fn flush_wait_ns(&self) -> u64 {
+        self.flush_wait_ns.load(Ordering::Relaxed)
     }
 
     fn wait_seq(&self, seq: u64) -> Result<()> {

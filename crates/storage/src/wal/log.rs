@@ -197,6 +197,31 @@ impl WalFile {
         Ok((records, valid))
     }
 
+    /// Like [`WalFile::replay_with_valid_len_on`], but each record
+    /// carries the byte offset of the end of its own frame. The sharded
+    /// WAL's merged recovery needs per-frame offsets: after cutting the
+    /// global contiguous prefix it truncates each shard file at the end
+    /// of the last frame that survived the cut, not merely at the last
+    /// intact frame.
+    pub fn replay_with_offsets_on(
+        vfs: &dyn Vfs,
+        path: &Path,
+    ) -> Result<(Vec<(WalRecord, u64)>, u64)> {
+        if !vfs.exists(path) {
+            return Ok((Vec::new(), 0));
+        }
+        let data = vfs.read(path)?;
+        let mut iter = WalIter::new(&data);
+        let mut records = Vec::new();
+        let mut valid = 0u64;
+        while let Some(item) = iter.next() {
+            let rec = item?;
+            valid = iter.offset as u64;
+            records.push((rec, valid));
+        }
+        Ok((records, valid))
+    }
+
     /// Truncate the log file at `path` to `len` bytes (crash-tail
     /// repair), on the real file system.
     pub fn truncate(path: &Path, len: u64) -> Result<()> {

@@ -1,0 +1,255 @@
+//! Reopen compatibility across WAL shard layouts: the on-disk layout is
+//! what discovery finds, not what `Options::wal_shards` asks for — a
+//! database written under one shard count must reopen cleanly under any
+//! other, keep its data, and converge to the requested layout only at
+//! the next checkpoint (re-shard on checkpoint, never on open). Torn
+//! shard tails must still recover a commit-order prefix on the way.
+
+use std::path::{Path, PathBuf};
+
+use tendax_storage::{shard_path, DataType, Database, Options, Predicate, Row, TableDef, Value};
+
+mod common;
+use common::TestDir;
+
+fn tmp(name: &str) -> (TestDir, PathBuf) {
+    let dir = TestDir::new("tendax-reshard");
+    let p = dir.file(name);
+    (dir, p)
+}
+
+fn opts(wal_shards: usize) -> Options {
+    Options {
+        wal_shards,
+        ..Options::default()
+    }
+}
+
+fn table_def(name: &str) -> TableDef {
+    TableDef::new(name).column("seq", DataType::Int)
+}
+
+/// Insert `seq = lo..hi` into `name` (creating it if needed), one
+/// commit per row.
+fn write_range(db: &Database, name: &str, lo: i64, hi: i64) {
+    let t = db
+        .table_id(name)
+        .or_else(|_| db.create_table(table_def(name)))
+        .unwrap();
+    for i in lo..hi {
+        let mut txn = db.begin();
+        txn.insert(t, Row::new(vec![Value::Int(i)])).unwrap();
+        txn.commit().unwrap();
+    }
+}
+
+/// The sorted `seq` values visible in `name` (empty if the table is
+/// gone).
+fn seqs(db: &Database, name: &str) -> Vec<i64> {
+    match db.table_id(name) {
+        Ok(t) => {
+            let mut v: Vec<i64> = db
+                .begin()
+                .scan(t, &Predicate::True)
+                .unwrap()
+                .iter()
+                .map(|(_, r)| r.get(0).unwrap().as_int().unwrap())
+                .collect();
+            v.sort_unstable();
+            v
+        }
+        Err(_) => Vec::new(),
+    }
+}
+
+fn sibling_count(base: &Path) -> usize {
+    let mut n = 0;
+    while shard_path(base, n + 1).exists() {
+        n += 1;
+    }
+    n
+}
+
+/// A log written single-file reopens under `wal_shards = 4` in the old
+/// layout, converges on checkpoint, and keeps every row across the
+/// whole dance — and the reverse direction works the same way.
+#[test]
+fn reopen_keeps_layout_until_checkpoint_both_directions() {
+    for (from, to) in [(1usize, 4usize), (4, 1)] {
+        let (_dir, path) = tmp(&format!("convert-{from}-{to}.wal"));
+        {
+            let db = Database::open(&path, opts(from)).unwrap();
+            write_range(&db, "t", 0, 10);
+            db.checkpoint().unwrap();
+            assert_eq!(db.wal_shard_count(), from);
+            write_range(&db, "t", 10, 14); // live tail past the snapshot
+        }
+        assert_eq!(
+            sibling_count(&path),
+            from - 1,
+            "{from}->{to}: layout on disk"
+        );
+
+        // Reopen requesting the other layout: the open must keep the
+        // on-disk layout and all data.
+        {
+            let db = Database::open(&path, opts(to)).unwrap();
+            assert_eq!(
+                db.wal_shard_count(),
+                from,
+                "{from}->{to}: open must keep the on-disk layout"
+            );
+            assert_eq!(seqs(&db, "t"), (0..14).collect::<Vec<_>>());
+
+            // The checkpoint performs the transition.
+            db.checkpoint().unwrap();
+            assert_eq!(
+                db.wal_shard_count(),
+                to,
+                "{from}->{to}: checkpoint must converge the layout"
+            );
+            assert_eq!(seqs(&db, "t"), (0..14).collect::<Vec<_>>());
+            write_range(&db, "t", 14, 18); // the new layout takes writes
+        }
+        assert_eq!(
+            sibling_count(&path),
+            to - 1,
+            "{from}->{to}: converged on disk"
+        );
+
+        // A clean reopen of the converged layout holds everything.
+        let db = Database::open(&path, opts(to)).unwrap();
+        assert_eq!(db.wal_shard_count(), to);
+        assert_eq!(seqs(&db, "t"), (0..18).collect::<Vec<_>>());
+    }
+}
+
+/// Round-trip 1 → 4 → 1 with writes at every stop: no layout hop may
+/// lose a row, and the final single-file log replays exactly like a
+/// log that was never sharded.
+#[test]
+fn reshard_roundtrip_keeps_every_row() {
+    let (_dir, path) = tmp("roundtrip.wal");
+    {
+        let db = Database::open(&path, opts(1)).unwrap();
+        write_range(&db, "a", 0, 5);
+        write_range(&db, "b", 0, 5);
+    }
+    {
+        let db = Database::open(&path, opts(4)).unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(db.wal_shard_count(), 4);
+        write_range(&db, "a", 5, 10);
+        write_range(&db, "b", 5, 10);
+    }
+    {
+        let db = Database::open(&path, opts(1)).unwrap();
+        assert_eq!(db.wal_shard_count(), 4, "open must not re-shard");
+        write_range(&db, "a", 10, 12);
+        db.checkpoint().unwrap();
+        assert_eq!(db.wal_shard_count(), 1);
+        write_range(&db, "b", 10, 12);
+    }
+    assert_eq!(sibling_count(&path), 0, "siblings must be deleted");
+
+    let db = Database::open(&path, opts(1)).unwrap();
+    assert_eq!(db.wal_shard_count(), 1);
+    assert_eq!(seqs(&db, "a"), (0..12).collect::<Vec<_>>());
+    assert_eq!(seqs(&db, "b"), (0..12).collect::<Vec<_>>());
+}
+
+/// Torn single-file tail, reopened sharded: the base file loses its
+/// final bytes (a torn final sector), then the database is opened with
+/// `wal_shards = 4`. Recovery must yield a commit-order prefix, and the
+/// re-shard checkpoint must carry it into the new layout intact.
+#[test]
+fn torn_single_file_tail_reopens_sharded() {
+    let (_dir, path) = tmp("torn-up.wal");
+    {
+        let db = Database::open(&path, opts(1)).unwrap();
+        write_range(&db, "t", 0, 8);
+    }
+    let data = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &data[..data.len() - 7]).unwrap();
+
+    let db = Database::open(&path, opts(4)).unwrap();
+    assert_eq!(db.wal_shard_count(), 1, "open must keep the torn layout");
+    let got = seqs(&db, "t");
+    let expected: Vec<i64> = (0..got.len() as i64).collect();
+    assert_eq!(got, expected, "torn tail must recover a commit prefix");
+    assert!(got.len() >= 7, "only the torn final commit may be lost");
+
+    let hi = got.len() as i64;
+    db.checkpoint().unwrap();
+    assert_eq!(db.wal_shard_count(), 4);
+    write_range(&db, "t", hi, hi + 4);
+    drop(db);
+
+    let db = Database::open(&path, opts(4)).unwrap();
+    assert_eq!(seqs(&db, "t"), (0..hi + 4).collect::<Vec<_>>());
+}
+
+/// Torn sibling tail, reopened single-file: commits spread over four
+/// shard files, one sibling loses its final bytes, and the database is
+/// opened with `wal_shards = 1`. The merged recovery must cut the
+/// *global* prefix at the missing timestamp, and the re-shard
+/// checkpoint must collapse the survivors into one file.
+#[test]
+fn torn_sibling_tail_reopens_single_file() {
+    let (_dir, path) = tmp("torn-down.wal");
+    {
+        let db = Database::open(&path, opts(4)).unwrap();
+        // Three tables spread commits across shards; interleave so each
+        // file gets frames throughout the run.
+        for name in ["a", "b", "c"] {
+            write_range(&db, name, 0, 1);
+        }
+        for i in 1..8 {
+            for name in ["a", "b", "c"] {
+                write_range(&db, name, i, i + 1);
+            }
+        }
+    }
+    // Tear the tail of the first sibling that holds data.
+    let victim = (1..4)
+        .map(|k| shard_path(&path, k))
+        .find(|p| std::fs::metadata(p).map(|m| m.len() > 0).unwrap_or(false))
+        .expect("no sibling holds data — routing regressed");
+    let data = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &data[..data.len() - 5]).unwrap();
+
+    let db = Database::open(&path, opts(1)).unwrap();
+    assert_eq!(db.wal_shard_count(), 4, "open must keep the torn layout");
+    // Every table must hold a contiguous run from 0, and the total must
+    // reflect a single global cut: no table may run further ahead of
+    // the shortest than the pre-tear interleaving allowed.
+    let lens: Vec<usize> = ["a", "b", "c"]
+        .iter()
+        .map(|n| {
+            let got = seqs(&db, n);
+            let expected: Vec<i64> = (0..got.len() as i64).collect();
+            assert_eq!(got, expected, "table {n}: not a commit prefix");
+            got.len()
+        })
+        .collect();
+    let (min, max) = (*lens.iter().min().unwrap(), *lens.iter().max().unwrap());
+    assert!(min >= 1, "tear wiped more than the unsynced tail: {lens:?}");
+    assert!(
+        max - min <= 1,
+        "global prefix cut violated — tables diverged: {lens:?}"
+    );
+
+    db.checkpoint().unwrap();
+    assert_eq!(db.wal_shard_count(), 1);
+    drop(db);
+    assert_eq!(sibling_count(&path), 0, "siblings must be deleted");
+
+    let db = Database::open(&path, opts(1)).unwrap();
+    for (n, len) in ["a", "b", "c"].iter().zip(lens) {
+        assert_eq!(
+            seqs(&db, n),
+            (0..len as i64).collect::<Vec<_>>(),
+            "table {n}: collapsed log diverged"
+        );
+    }
+}

@@ -19,6 +19,14 @@ cargo test -q -p tendax-storage --test maintenance --test recovery_faults
 echo "==> crash-simulation suite (SimVfs, seeds 0..32)"
 cargo test -q -p tendax-storage --test sim_crash
 
+echo "==> WAL shard-layout reopen compatibility (re-shard on checkpoint)"
+cargo test -q -p tendax-storage --test reshard
+
+echo "==> sharded-WAL matrix leg (default layout forced to 4 shards)"
+TENDAX_WAL_SHARDS=4 cargo test -q -p tendax-storage \
+    --test sim_crash --test commit_pipeline --test merge_commit \
+    --test maintenance --test recovery_faults --test reshard
+
 echo "==> commit-pipeline invariants (gap-freedom, FCW, WAL prefix replay)"
 cargo test -q -p tendax-storage --test commit_pipeline
 

@@ -6,6 +6,10 @@
 #   START  first seed (default 0)
 #   COUNT  number of seeds (default 32)
 #
+# Every seed runs twice: once with the default single-file WAL and once
+# with TENDAX_WAL_SHARDS=4, so the sharded layout gets the same crash
+# coverage wherever a test opens a database with default options.
+#
 # Reproducing a failure locally is one command — every assertion in the
 # suite embeds its seed, and the suite honors the same variable:
 #
@@ -24,21 +28,24 @@ echo "==> building sim_crash test binary"
 cargo test -q -p tendax-storage --test sim_crash --no-run
 
 failed=()
-for ((seed = start; seed < start + count; seed++)); do
-    if TENDAX_SIM_SEED="$seed" cargo test -q -p tendax-storage --test sim_crash >/tmp/sim_seed_$$.log 2>&1; then
-        echo "seed $seed: ok"
-    else
-        echo "seed $seed: FAILED"
-        echo "--- output (rerun: TENDAX_SIM_SEED=$seed cargo test -p tendax-storage --test sim_crash) ---"
-        cat /tmp/sim_seed_$$.log
-        failed+=("$seed")
-    fi
+for shards in 1 4; do
+    for ((seed = start; seed < start + count; seed++)); do
+        if TENDAX_SIM_SEED="$seed" TENDAX_WAL_SHARDS="$shards" \
+            cargo test -q -p tendax-storage --test sim_crash >/tmp/sim_seed_$$.log 2>&1; then
+            echo "seed $seed (wal_shards=$shards): ok"
+        else
+            echo "seed $seed (wal_shards=$shards): FAILED"
+            echo "--- output (rerun: TENDAX_SIM_SEED=$seed TENDAX_WAL_SHARDS=$shards cargo test -p tendax-storage --test sim_crash) ---"
+            cat /tmp/sim_seed_$$.log
+            failed+=("$seed/s$shards")
+        fi
+    done
 done
 rm -f /tmp/sim_seed_$$.log
 
 if ((${#failed[@]})); then
-    echo "==> ${#failed[@]}/$count seeds failed: ${failed[*]}"
-    echo "==> rerun one with: TENDAX_SIM_SEED=<n> cargo test -p tendax-storage --test sim_crash"
+    echo "==> ${#failed[@]}/$((2 * count)) seed legs failed: ${failed[*]}"
+    echo "==> rerun one with: TENDAX_SIM_SEED=<n> TENDAX_WAL_SHARDS=<1|4> cargo test -p tendax-storage --test sim_crash"
     exit 1
 fi
-echo "==> all $count seeds passed (seeds $start..$((start + count - 1)))"
+echo "==> all $count seeds passed in both WAL layouts (seeds $start..$((start + count - 1)))"
