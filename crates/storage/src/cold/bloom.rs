@@ -1,0 +1,161 @@
+//! Per-run bloom filters over `(table, row)` keys.
+//!
+//! A cold lookup probes every live run; the filter is what keeps that
+//! from meaning "read a block from every run". Each run carries one
+//! filter built over the distinct `(table, row)` prefixes it contains,
+//! so a point read skips — without touching the file — every run that
+//! never stored a version of the row. Classic double hashing
+//! (Kirsch–Mitzenmacher): two independent 64-bit hashes generate the
+//! `k` probe positions, `k` derived from the configured bits-per-key.
+
+/// A serializable bloom filter. Immutable once built.
+#[derive(Debug, Clone)]
+pub(crate) struct Bloom {
+    k: u32,
+    nbits: u64,
+    bits: Vec<u8>,
+}
+
+/// FNV-1a 64 with a caller-chosen offset basis, so two independent
+/// hash streams come from one pass over the key.
+fn fnv64(key: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Final avalanche (splitmix64 tail): FNV alone clusters on short,
+    // structured keys like our fixed-width prefixes.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+impl Bloom {
+    /// Build a filter sized for `keys` distinct entries at
+    /// `bits_per_key` bits each.
+    pub(crate) fn build<'a>(
+        keys: impl Iterator<Item = &'a [u8]>,
+        key_count: usize,
+        bits_per_key: usize,
+    ) -> Bloom {
+        let bits_per_key = bits_per_key.max(1);
+        let nbits = ((key_count.max(1) * bits_per_key) as u64).max(64);
+        // Optimal k = ln 2 * bits/key, clamped to something sane.
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let mut bloom = Bloom {
+            k,
+            nbits,
+            bits: vec![0u8; nbits.div_ceil(8) as usize],
+        };
+        for key in keys {
+            bloom.insert(key);
+        }
+        bloom
+    }
+
+    fn insert(&mut self, key: &[u8]) {
+        let h1 = fnv64(key, 0xCBF2_9CE4_8422_2325);
+        let h2 = fnv64(key, 0x6C62_272E_07BB_0142) | 1;
+        let mut h = h1;
+        for _ in 0..self.k {
+            let bit = h % self.nbits;
+            self.bits[(bit / 8) as usize] |= 1 << (bit % 8);
+            h = h.wrapping_add(h2);
+        }
+    }
+
+    /// `false` means the key is definitely absent; `true` means "maybe".
+    pub(crate) fn may_contain(&self, key: &[u8]) -> bool {
+        let h1 = fnv64(key, 0xCBF2_9CE4_8422_2325);
+        let h2 = fnv64(key, 0x6C62_272E_07BB_0142) | 1;
+        let mut h = h1;
+        for _ in 0..self.k {
+            let bit = h % self.nbits;
+            if self.bits[(bit / 8) as usize] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(h2);
+        }
+        true
+    }
+
+    /// Serialize as `[k u32][nbits u64][bit bytes]`, little-endian.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.nbits.to_le_bytes());
+        out.extend_from_slice(&self.bits);
+    }
+
+    pub(crate) fn decode(data: &[u8]) -> Option<Bloom> {
+        if data.len() < 12 {
+            return None;
+        }
+        let k = u32::from_le_bytes(data[0..4].try_into().ok()?);
+        let nbits = u64::from_le_bytes(data[4..12].try_into().ok()?);
+        let bits = data[12..].to_vec();
+        if k == 0 || nbits == 0 || bits.len() as u64 != nbits.div_ceil(8) {
+            return None;
+        }
+        Some(Bloom { k, nbits, bits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(table: u32, row: u64) -> [u8; 12] {
+        let mut k = [0u8; 12];
+        k[..4].copy_from_slice(&table.to_be_bytes());
+        k[4..].copy_from_slice(&row.to_be_bytes());
+        k
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<[u8; 12]> = (0..1000).map(|i| key(1, i)).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len(), 10);
+        for k in &keys {
+            assert!(bloom.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let keys: Vec<[u8; 12]> = (0..1000).map(|i| key(1, i)).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len(), 10);
+        let fps = (0..10_000)
+            .map(|i| key(2, i))
+            .filter(|k| bloom.may_contain(k))
+            .count();
+        // 10 bits/key targets ~1%; allow generous slack.
+        assert!(fps < 500, "false positive rate too high: {fps}/10000");
+    }
+
+    #[test]
+    fn roundtrips_through_encoding() {
+        let keys: Vec<[u8; 12]> = (0..100).map(|i| key(3, i)).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len(), 8);
+        let mut buf = Vec::new();
+        bloom.encode(&mut buf);
+        let back = Bloom::decode(&buf).expect("decodes");
+        for k in &keys {
+            assert!(back.may_contain(k));
+        }
+        assert!(Bloom::decode(&buf[..5]).is_none());
+        assert!(Bloom::decode(&buf[..buf.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn tiny_filter_still_admits_members() {
+        // 1 bit/key aliases heavily but must never reject a member.
+        let keys: Vec<[u8; 12]> = (0..64).map(|i| key(9, i)).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len(), 1);
+        for k in &keys {
+            assert!(bloom.may_contain(k));
+        }
+    }
+}

@@ -8,6 +8,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::{Mutex, RwLock};
 
 use crate::clock::{Clock, ClockMode};
+use crate::cold::{ColdOptions, ColdStore};
 use crate::commit::{CommitLatch, CommitSequencer};
 use crate::error::{Result, StorageError};
 use crate::maintenance::{MaintenanceOptions, MaintenanceTask};
@@ -51,6 +52,17 @@ pub struct Options {
     /// `1..=64`) so test/CI matrices can flip the layout without code
     /// changes.
     pub wal_shards: usize,
+    /// Tiered cold storage. `None` (the default) keeps every version in
+    /// RAM until vacuum drops it — byte-identical to the pre-cold
+    /// engine. `Some` attaches bloom-filtered sorted-run files next to
+    /// the WAL: vacuum and checkpoint *demote* versions below the
+    /// snapshot horizon into runs instead of discarding them, bounding
+    /// RAM residency while keeping all history readable via
+    /// [`Database::begin_at`]. Ignored by in-memory databases. The
+    /// default reads `TENDAX_COLD` (`1`/`true` enables the default
+    /// [`ColdOptions`]) so test/CI matrices can flip the tier without
+    /// code changes.
+    pub cold_storage: Option<ColdOptions>,
 }
 
 impl Default for Options {
@@ -60,6 +72,10 @@ impl Default for Options {
             .and_then(|s| s.trim().parse::<usize>().ok())
             .map(|n| n.clamp(1, 64))
             .unwrap_or(1);
+        let cold_storage = match std::env::var("TENDAX_COLD") {
+            Ok(v) if matches!(v.trim(), "1" | "true" | "on") => Some(ColdOptions::default()),
+            _ => None,
+        };
         Options {
             durability: DurabilityLevel::Buffered,
             clock: ClockMode::Logical,
@@ -67,6 +83,7 @@ impl Default for Options {
             maintenance: None,
             vfs: os_vfs(),
             wal_shards,
+            cold_storage,
         }
     }
 }
@@ -133,6 +150,23 @@ pub struct Stats {
     /// anchor, or a concurrent delete) — the aborts that remain
     /// semantically necessary. Always ≤ `conflicts`.
     pub write_conflicts_true_overlap: u64,
+    /// Live cold-tier run files (0 when the tier is disabled or empty).
+    pub cold_runs: usize,
+    /// Versions currently resident in cold runs.
+    pub cold_versions: u64,
+    /// Demotion batches published (vacuum + checkpoint).
+    pub cold_demotions: u64,
+    /// Versions written to cold runs by those demotions.
+    pub cold_versions_demoted: u64,
+    /// Point reads served from a cold run (RAM missed, cold hit).
+    pub cold_reads: u64,
+    /// Run probes skipped because the bloom filter excluded the row.
+    pub cold_bloom_skips: u64,
+    /// Run probes where the bloom filter passed but the run held no
+    /// eligible version.
+    pub cold_bloom_false_positives: u64,
+    /// Cold-tier compactions (run merges) completed.
+    pub cold_compactions: u64,
 }
 
 /// Per-table statistics (monitoring, planner diagnostics).
@@ -417,7 +451,13 @@ pub(crate) struct DbInner {
     maintenance: Mutex<Option<MaintenanceTask>>,
     /// Highest vacuum horizon ever applied: versions visible strictly
     /// below it may be pruned, so `begin_at` refuses older snapshots.
+    /// With a cold tier attached this tracks the *lineage retention*
+    /// floor instead — demoted history above it stays readable from
+    /// cold runs, so vacuum no longer raises it.
     vacuum_floor: AtomicU64,
+    /// Tiered cold storage; set once at open for durable databases with
+    /// `Options::cold_storage`, never for in-memory.
+    cold: OnceLock<ColdStore>,
 }
 
 impl Drop for DbInner {
@@ -461,6 +501,7 @@ impl Database {
                 path,
                 maintenance: Mutex::new(None),
                 vacuum_floor: AtomicU64::new(0),
+                cold: OnceLock::new(),
             }),
         }
     }
@@ -542,9 +583,19 @@ impl Database {
                 group_commit: options.group_commit,
                 durability: options.durability,
                 vfs: options.vfs.clone(),
-                base: path,
+                base: path.clone(),
             })
             .expect("wal set once at open");
+        if let Some(copts) = options.cold_storage {
+            let cold = ColdStore::open(options.vfs.clone(), &path, copts)?;
+            // `begin_at` below the lineage retention floor must keep
+            // failing after a restart — compaction may already have
+            // dropped that history.
+            db.inner
+                .vacuum_floor
+                .fetch_max(cold.retention_floor(), Ordering::Relaxed);
+            db.inner.cold.set(cold).expect("cold set once at open");
+        }
         if let Some(m) = options.maintenance {
             db.start_maintenance(m);
         }
@@ -1101,7 +1152,17 @@ impl Database {
     }
 
     /// Prune versions no live snapshot can see. Returns versions pruned.
+    ///
+    /// With a cold tier attached this *demotes* instead of discarding:
+    /// the prunable versions are written to a durable cold run first,
+    /// and only once the run is published does RAM let go of them — so
+    /// the horizon can be the watermark itself (pinned snapshots read
+    /// demoted history through the cold path) and `begin_at` keeps
+    /// working all the way down to the lineage retention floor.
     pub fn vacuum(&self) -> usize {
+        if let Some(cold) = self.inner.cold.get() {
+            return self.vacuum_demote(cold);
+        }
         let horizon = {
             let active = self.inner.active.lock();
             let horizon = active
@@ -1129,6 +1190,115 @@ impl Database {
         pruned
     }
 
+    /// The demoting vacuum: collect → publish cold → prune RAM.
+    ///
+    /// Ordering is the whole story. The batch is written and the run
+    /// published (manifest swap, cold floor raised) *before* any table
+    /// write lock is taken; readers do RAM-first-then-cold with the
+    /// floor checked after the RAM miss, so whichever side of the prune
+    /// a reader lands on, it sees the version — from RAM before, from
+    /// the run after. On any demotion error nothing is pruned.
+    fn vacuum_demote(&self, cold: &ColdStore) -> usize {
+        // One demotion/compaction/checkpoint-capture at a time.
+        let _demote = cold.exclusive();
+        // The watermark, not the min active snapshot: pinned readers no
+        // longer pin RAM, they follow their versions into the cold tier.
+        let horizon = self.inner.sequencer.watermark();
+        let already_cold = cold.floor();
+        let tables = self.inner.tables.read();
+        let mut batch = Vec::new();
+        for handle in tables.values() {
+            handle
+                .read()
+                .collect_demotable(horizon, already_cold, &mut batch);
+        }
+        if self.note_cold_error(cold.demote(batch, horizon)).is_none() {
+            return 0;
+        }
+        let mut pruned = 0;
+        for handle in tables.values() {
+            pruned += handle.write().vacuum(horizon);
+        }
+        self.inner
+            .counters
+            .versions_pruned
+            .fetch_add(pruned as u64, Ordering::Relaxed);
+        pruned
+    }
+
+    /// Swallow a cold-tier maintenance error: demotion failing means
+    /// "keep everything in RAM", which is always safe — and under fault
+    /// injection (power cuts mid-demotion) it is the *expected* outcome,
+    /// so the error must not escalate. At worst an orphan run file is
+    /// left behind, swept on the next open.
+    fn note_cold_error<T>(&self, r: Result<T>) -> Option<T> {
+        r.ok()
+    }
+
+    /// Raise the lineage retention floor: history at or below `ts`
+    /// stops being reachable via [`Database::begin_at`] and becomes
+    /// droppable by cold-tier compaction. Clamped so it never overtakes
+    /// an active snapshot. Monotonic; lowering is a no-op. Without a
+    /// cold tier this is equivalent to what vacuum already enforces.
+    pub fn set_lineage_retention(&self, ts: Ts) -> Result<()> {
+        let effective = {
+            let active = self.inner.active.lock();
+            let cap = active
+                .values()
+                .copied()
+                .min()
+                .unwrap_or_else(|| self.inner.sequencer.watermark());
+            let effective = ts.min(cap);
+            self.inner
+                .vacuum_floor
+                .fetch_max(effective, Ordering::Relaxed);
+            effective
+        };
+        if let Some(cold) = self.inner.cold.get() {
+            let _demote = cold.exclusive();
+            cold.set_retention_floor(effective)?;
+        }
+        Ok(())
+    }
+
+    /// Merge cold runs when enough have accumulated, dropping history
+    /// the lineage retention floor supersedes. Returns whether a
+    /// compaction ran. A no-op without a cold tier.
+    pub fn cold_compact_if_needed(&self) -> Result<bool> {
+        match self.inner.cold.get() {
+            Some(cold) => cold.compact_if_needed(),
+            None => Ok(false),
+        }
+    }
+
+    /// Versions currently resident in RAM across all tables — the
+    /// number the cold tier's memtable budget bounds.
+    pub fn ram_version_count(&self) -> usize {
+        let tables = self.inner.tables.read();
+        tables.values().map(|h| h.read().version_count()).sum()
+    }
+
+    /// Whether RAM residency exceeds the cold tier's memtable budget
+    /// and a demoting vacuum could shed versions. Drives the
+    /// maintenance thread's demotion arm.
+    pub(crate) fn cold_over_budget(&self) -> bool {
+        match self.inner.cold.get() {
+            Some(cold) => {
+                self.pruneable_estimate() > 0 && self.ram_version_count() > cold.memtable_budget()
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn cold_store(&self) -> Option<&ColdStore> {
+        self.inner.cold.get()
+    }
+
+    /// Whether the tiered cold storage is attached to this database.
+    pub fn cold_storage_enabled(&self) -> bool {
+        self.inner.cold.get().is_some()
+    }
+
     /// Compact the WAL to a snapshot of the latest committed state.
     ///
     /// Two phases. The **copy phase** quiesces the commit pipeline
@@ -1148,6 +1318,14 @@ impl Database {
         // happen while holding the exclusive latch, or every commit
         // stalls for the duration of a full file rewrite.
         let _ckpt = self.inner.checkpoint_lock.lock();
+        // With a cold tier, checkpoint demotes every version the hot
+        // snapshot would discard (all non-newest versions plus newest
+        // tombstones, minus what earlier demotions already cover), so
+        // compacting the WAL stops erasing durable history. Hold the
+        // demote lock across the whole checkpoint: the history captured
+        // under the latch must still be what gets demoted after it.
+        let cold = self.inner.cold.get();
+        let _demote = cold.map(ColdStore::exclusive);
         if wal.needs_reshard() {
             // Layout transition (`Options::wal_shards` differs from the
             // on-disk shard count): stop-the-world under the exclusive
@@ -1155,17 +1333,83 @@ impl Database {
             // set, swap coordinators. Rare (once per re-configuration),
             // so the lost copy/swap overlap doesn't matter.
             let _quiesce = self.inner.commit_latch.exclusive();
-            let records = self.snapshot_records();
-            return wal.reshard(&records, self.inner.sequencer.watermark());
+            let watermark = self.inner.sequencer.watermark();
+            let batch = match cold {
+                Some(cold) => self.collect_cold_history(cold, watermark),
+                None => Vec::new(),
+            };
+            let records = match cold {
+                Some(cold)
+                    if self
+                        .note_cold_error(cold.demote(batch.clone(), watermark))
+                        .is_some() =>
+                {
+                    self.snapshot_records_with(&[])
+                }
+                // Demotion failed (or no cold tier): history rides in
+                // the rewritten WAL instead.
+                _ => self.snapshot_records_with(&batch),
+            };
+            return wal.reshard(&records, watermark);
         }
         // ---------------------------------------------------- copy phase
-        let records = {
+        let (hot, batch, watermark) = {
             let _quiesce = self.inner.commit_latch.exclusive();
             wal.begin_rewrite()?;
-            self.snapshot_records()
+            let watermark = self.inner.sequencer.watermark();
+            let batch = match cold {
+                Some(cold) => self.collect_cold_history(cold, watermark),
+                None => Vec::new(),
+            };
+            (self.snapshot_records_with(&[]), batch, watermark)
         };
         // ---------------------------------------------------- swap phase
-        wal.finish_rewrite(&records)
+        // Demote off-latch (commits flow during the run write). On
+        // demotion failure, fall back to splicing the history into the
+        // rewritten WAL — the batch was captured under the latch, so
+        // the spliced records are exactly the quiesced state.
+        match cold {
+            Some(cold) if !batch.is_empty() => {
+                if self
+                    .note_cold_error(cold.demote(batch.clone(), watermark))
+                    .is_some()
+                {
+                    wal.finish_rewrite(&hot)
+                } else {
+                    let full = splice_history(hot, &batch);
+                    wal.finish_rewrite(&full)
+                }
+            }
+            _ => wal.finish_rewrite(&hot),
+        }
+    }
+
+    /// Everything a checkpoint at `watermark` would discard from the
+    /// WAL but the cold tier should keep: per table, every non-newest
+    /// version plus newest tombstones, minus versions already demoted.
+    /// Caller holds the exclusive commit latch and the demote lock.
+    fn collect_cold_history(
+        &self,
+        cold: &ColdStore,
+        watermark: Ts,
+    ) -> Vec<(TableId, RowId, Ts, WalOp)> {
+        let already_cold = cold.floor();
+        let tables = self.inner.tables.read();
+        let mut batch = Vec::new();
+        for handle in tables.values() {
+            handle
+                .read()
+                .collect_demotable(watermark, already_cold, &mut batch);
+        }
+        batch
+    }
+
+    /// [`Database::snapshot_records`] plus `history` spliced in as
+    /// [`WalRecord::SnapshotRow`]s — the cold-demotion-failed fallback,
+    /// where discarded-from-WAL history must ride in the rewritten log
+    /// instead of a cold run.
+    fn snapshot_records_with(&self, history: &[(TableId, RowId, Ts, WalOp)]) -> Vec<WalRecord> {
+        splice_history(self.snapshot_records(), history)
     }
 
     /// One record per piece of durable state at the current watermark:
@@ -1325,6 +1569,12 @@ impl Database {
             .get()
             .map(WalBackend::stats)
             .unwrap_or_default();
+        let cold = self
+            .inner
+            .cold
+            .get()
+            .map(ColdStore::counters)
+            .unwrap_or_default();
         Stats {
             txns_begun: self.inner.counters.txns_begun.load(Ordering::Relaxed),
             commits: self.inner.counters.commits.load(Ordering::Relaxed),
@@ -1372,6 +1622,14 @@ impl Database {
                 .counters
                 .true_overlap_conflicts
                 .load(Ordering::Relaxed),
+            cold_runs: cold.runs,
+            cold_versions: cold.cold_versions,
+            cold_demotions: cold.demotions,
+            cold_versions_demoted: cold.versions_demoted,
+            cold_reads: cold.reads,
+            cold_bloom_skips: cold.bloom_skips,
+            cold_bloom_false_positives: cold.bloom_false_positives,
+            cold_compactions: cold.compactions,
         }
     }
 
@@ -1405,6 +1663,38 @@ impl Database {
     pub fn path(&self) -> Option<&Path> {
         self.inner.path.as_deref()
     }
+}
+
+/// Splice demotable history into a checkpoint record set as
+/// [`WalRecord::SnapshotRow`]s, placed after the DDL prologue and
+/// before every newest-version row so per-row replay stays
+/// timestamp-monotonic (history versions always predate the newest
+/// record of their row, and rows with a newest tombstone have no hot
+/// record at all).
+fn splice_history(
+    mut records: Vec<WalRecord>,
+    history: &[(TableId, RowId, Ts, WalOp)],
+) -> Vec<WalRecord> {
+    if history.is_empty() {
+        return records;
+    }
+    let mut hist = history.to_vec();
+    hist.sort_unstable_by_key(|(t, r, ts, _)| (t.0, r.0, *ts));
+    let pos = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::CreateTable { .. }))
+        .map_or(records.len(), |i| i + 1);
+    let rows: Vec<WalRecord> = hist
+        .into_iter()
+        .map(|(table, row, commit_ts, op)| WalRecord::SnapshotRow {
+            table,
+            row,
+            commit_ts,
+            op,
+        })
+        .collect();
+    records.splice(pos..pos, rows);
+    records
 }
 
 #[cfg(test)]

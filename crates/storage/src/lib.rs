@@ -44,6 +44,7 @@
 
 pub mod aggregate;
 pub mod clock;
+pub mod cold;
 pub(crate) mod commit;
 pub mod db;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod wal;
 
 pub use aggregate::Aggregate;
 pub use clock::ClockMode;
+pub use cold::ColdOptions;
 pub use db::{Database, Options, Stats, TableStats};
 pub use error::{Result, StorageError};
 pub use maintenance::MaintenanceOptions;

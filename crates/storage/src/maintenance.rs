@@ -178,13 +178,21 @@ fn tick(db: &Database, opts: &MaintenanceOptions, state: &mut TickState) {
     // case re-running is exactly right); the commit-count arm
     // additionally requires progress since the last vacuum so an idle
     // database isn't rescanned every tick.
+    // The cold-budget arm fires whenever the RAM-resident version count
+    // exceeds the configured memtable budget (cold tier enabled only):
+    // vacuum then *demotes* the prefix below the horizon into a cold
+    // run instead of discarding it.
     if db.pruneable_estimate() >= opts.vacuum_pruneable
         || (since_vacuum > 0 && since_vacuum >= opts.vacuum_commit_interval)
+        || db.cold_over_budget()
     {
         db.vacuum();
         db.note_auto_vacuum();
         state.last_vacuum_commits = commits;
     }
+    // Fold accumulated cold runs together once enough exist; bloom
+    // filters keep reads cheap in between, so this is purely amortized.
+    let _ = db.cold_compact_if_needed();
 
     let (bytes, records) = db.wal_size();
     let grew_bytes = bytes.saturating_sub(state.ckpt_base.0);

@@ -68,6 +68,22 @@ impl Row {
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
+
+    /// Rough heap footprint of this row in bytes: the value slots plus
+    /// owned string/byte payloads. Used for RAM-residency accounting
+    /// (e.g. the cold-tier memtable budget experiments), not billing —
+    /// allocator overhead is deliberately ignored.
+    pub fn approx_bytes(&self) -> usize {
+        let mut n = std::mem::size_of::<Value>() * self.values.len();
+        for v in &self.values {
+            n += match v {
+                Value::Text(s) => s.len(),
+                Value::Bytes(b) => b.len(),
+                _ => 0,
+            };
+        }
+        n
+    }
 }
 
 impl From<Vec<Value>> for Row {

@@ -385,6 +385,72 @@ impl TableStore {
         pruned
     }
 
+    /// Newest version of `row` with `commit_ts <= ts`, tombstones
+    /// included. The tiered read path needs the raw version (not just
+    /// [`TableStore::visible`]): a RAM tombstone at or below the
+    /// snapshot is *authoritative* — the row is absent and the cold
+    /// tier must not be consulted.
+    pub fn newest_version_at(&self, row: RowId, ts: Ts) -> Option<&Version> {
+        self.chains
+            .get(&row)?
+            .iter()
+            .rev()
+            .find(|v| v.commit_ts <= ts)
+    }
+
+    /// Newest version per row with `commit_ts <= ts`, tombstones
+    /// included — the RAM side of a tiered scan merge.
+    pub fn newest_versions_at(&self, ts: Ts) -> impl Iterator<Item = (RowId, &Version)> {
+        self.chains.iter().filter_map(move |(rid, chain)| {
+            chain
+                .iter()
+                .rev()
+                .find(|v| v.commit_ts <= ts)
+                .map(|v| (*rid, v))
+        })
+    }
+
+    /// Collect exactly what [`TableStore::vacuum`] at `horizon` would
+    /// prune, as WAL ops ready for cold demotion, skipping versions the
+    /// cold tier already holds (those superseded by a version at or
+    /// below `already_cold` — the cold floor — plus sole tombstones at
+    /// or below it).
+    ///
+    /// With `horizon` = the commit watermark this doubles as the
+    /// checkpoint's history collector: every non-newest version plus
+    /// newest tombstones, minus what previous demotions covered.
+    pub(crate) fn collect_demotable(
+        &self,
+        horizon: Ts,
+        already_cold: Ts,
+        out: &mut Vec<(TableId, RowId, Ts, crate::wal::WalOp)>,
+    ) {
+        use crate::wal::WalOp;
+        for (rid, chain) in &self.chains {
+            let keep_from = chain
+                .iter()
+                .rposition(|v| v.commit_ts <= horizon)
+                .unwrap_or_default();
+            for i in 0..keep_from {
+                if chain[i + 1].commit_ts <= already_cold {
+                    continue;
+                }
+                let op = match &chain[i].op {
+                    VersionOp::Put(r) => WalOp::Put(r.clone()),
+                    VersionOp::Delete => WalOp::Delete,
+                };
+                out.push((self.id, *rid, chain[i].commit_ts, op));
+            }
+            let Some(last) = chain.last() else { continue };
+            let sole_dead = keep_from == chain.len() - 1
+                && last.commit_ts <= horizon
+                && matches!(last.op, VersionOp::Delete);
+            if sole_dead && last.commit_ts > already_cold {
+                out.push((self.id, *rid, last.commit_ts, WalOp::Delete));
+            }
+        }
+    }
+
     fn rebuild_indexes(&mut self) {
         for idx in &mut self.indexes {
             idx.clear();

@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use crate::cold::ColdStore;
 use crate::db::Database;
 use crate::error::{Result, StorageError};
 use crate::index::IndexKey;
@@ -28,6 +29,7 @@ use crate::row::{Row, RowId, SharedRow};
 use crate::schema::TableId;
 use crate::table::{TableStore, Ts, Version, VersionOp, WriteDescriptor};
 use crate::value::Value;
+use crate::wal::WalOp;
 
 /// Transaction identifier (unique per database instance lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -176,7 +178,74 @@ impl Transaction {
         if let Some(op) = self.own_write(table, row) {
             return Ok(op.row().cloned());
         }
-        self.with_table(table, |t| t.visible(row, self.snapshot).cloned())
+        // RAM first. Any version at or below the snapshot — put *or*
+        // tombstone — is authoritative: demotion prunes a version only
+        // after a newer one at or below the cold floor supersedes it,
+        // so a surviving RAM version is always the newest for us.
+        let ram = self.with_table(table, |t| {
+            t.newest_version_at(row, self.snapshot)
+                .map(|v| match &v.op {
+                    VersionOp::Put(r) => Some(r.clone()),
+                    VersionOp::Delete => None,
+                })
+        })?;
+        if let Some(outcome) = ram {
+            return Ok(outcome);
+        }
+        // RAM holds nothing for this snapshot. Only snapshots below the
+        // cold floor can have demoted history; the floor is loaded
+        // *after* the RAM read, so a concurrent demotion's prune can
+        // never be missed (the floor is raised before anything is
+        // pruned).
+        let Some(cold) = self.db.cold_store() else {
+            return Ok(None);
+        };
+        if self.snapshot >= cold.floor() {
+            return Ok(None);
+        }
+        match cold.lookup(table, row, self.snapshot)? {
+            Some((_, WalOp::Put(r))) => Ok(Some(r)),
+            Some((_, WalOp::Delete)) | None => Ok(None),
+            Some((_, WalOp::Patch { .. })) => {
+                Err(StorageError::Internal("cold run holds a patch op".into()))
+            }
+        }
+    }
+
+    /// Every committed row visible at this snapshot once the cold tier
+    /// is merged in: RAM's newest version per row wins (tombstones
+    /// suppress the row), the cold tier fills rows whose relevant
+    /// history was demoted. Only called when `snapshot < cold.floor()`.
+    fn tiered_visible_rows(
+        &self,
+        table: TableId,
+        cold: &ColdStore,
+    ) -> Result<Vec<(RowId, SharedRow)>> {
+        let mut merged: BTreeMap<RowId, Option<SharedRow>> = self.with_table(table, |t| {
+            t.newest_versions_at(self.snapshot)
+                .map(|(rid, v)| {
+                    let row = match &v.op {
+                        VersionOp::Put(r) => Some(r.clone()),
+                        VersionOp::Delete => None,
+                    };
+                    (rid, row)
+                })
+                .collect()
+        })?;
+        for (rid, (_, op)) in cold.scan_table(table, self.snapshot)? {
+            let row = match op {
+                WalOp::Put(r) => Some(r),
+                WalOp::Delete => None,
+                WalOp::Patch { .. } => {
+                    return Err(StorageError::Internal("cold run holds a patch op".into()))
+                }
+            };
+            merged.entry(rid).or_insert(row);
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(rid, row)| row.map(|r| (rid, r)))
+            .collect())
     }
 
     /// All rows matching `pred`, via the planned access path, with this
@@ -190,14 +259,29 @@ impl Transaction {
         self.check_active()?;
         let outcome = self.with_table(table, |t| t.scan_matching(self.snapshot, pred))??;
         self.db.note_scan(outcome.scanned, outcome.skipped);
+        let mut committed = outcome.rows;
+        if let Some(cold) = self.db.cold_store() {
+            if self.snapshot < cold.floor() {
+                // The snapshot predates the cold floor, so RAM alone
+                // may be incomplete: rebuild from the merged tiers.
+                let def = self.db.table_def(table)?;
+                let mut rows = Vec::new();
+                for (rid, row) in self.tiered_visible_rows(table, cold)? {
+                    if pred.eval(&def, &row)? {
+                        rows.push((rid, row));
+                    }
+                }
+                committed = rows;
+            }
+        }
         let Some(ws) = self.writes.get(&table).filter(|ws| !ws.is_empty()) else {
-            return Ok(outcome.rows);
+            return Ok(committed);
         };
         // Merge the committed rows (row-id ordered) with the own-write
         // overlay (BTreeMap, also ordered): a two-pointer pass that
         // yields each row exactly once.
         let def = self.db.table_def(table)?;
-        let mut merged = Vec::with_capacity(outcome.rows.len() + ws.len());
+        let mut merged = Vec::with_capacity(committed.len() + ws.len());
         let mut own = ws.iter().peekable();
         let emit_own = |rid: RowId, op: &WriteOp, out: &mut Vec<(RowId, SharedRow)>| {
             if let Some(r) = op.row() {
@@ -207,7 +291,7 @@ impl Transaction {
             }
             Ok::<_, StorageError>(())
         };
-        for (rid, row) in outcome.rows {
+        for (rid, row) in committed {
             while let Some(&(&wrid, op)) = own.peek() {
                 if wrid >= rid {
                     break;
@@ -284,6 +368,30 @@ impl Transaction {
                 }
                 Ok::<_, StorageError>(out)
             })??;
+        if let Some(cold) = self.db.cold_store() {
+            if self.snapshot < cold.floor() {
+                // The index only covers RAM-resident versions; for a
+                // snapshot below the cold floor, rebuild the committed
+                // set from the merged tiers and re-key each row.
+                let rows = self.tiered_visible_rows(table, cold)?;
+                matched = self.with_table(table, |t| {
+                    let (_, idx) =
+                        t.index_by_name(index)
+                            .ok_or_else(|| StorageError::UnknownIndex {
+                                table: t.definition().name.clone(),
+                                index: index.to_owned(),
+                            })?;
+                    let mut out = BTreeMap::new();
+                    for (rid, row) in rows {
+                        let key = idx.key_of(&row);
+                        if range_contains(&(lo, hi), &key) {
+                            out.insert((key, rid), row);
+                        }
+                    }
+                    Ok::<_, StorageError>(out)
+                })??;
+            }
+        }
         // Overlay own writes: recompute their keys and membership.
         if let Some(ws) = self.writes.get(&table) {
             let key_bounds = (lo, hi);
@@ -381,6 +489,42 @@ impl Transaction {
             }
             Ok(None)
         })??;
+        let committed = match self.db.cold_store() {
+            Some(cold) if self.snapshot < cold.floor() => {
+                // Snapshot below the cold floor: rebuild the committed
+                // candidate from the merged tiers (the in-RAM index
+                // no longer covers every visible version).
+                let rows = self.tiered_visible_rows(table, cold)?;
+                self.with_table(table, |t| {
+                    let (_, idx) =
+                        t.index_by_name(index)
+                            .ok_or_else(|| StorageError::UnknownIndex {
+                                table: t.definition().name.clone(),
+                                index: index.to_owned(),
+                            })?;
+                    let mut best: Option<(IndexKey, RowId, SharedRow)> = None;
+                    for (rid, row) in rows {
+                        if self.own_write(table, rid).is_some() {
+                            continue;
+                        }
+                        let key = idx.key_of(&row);
+                        if !key.starts_with(prefix) {
+                            continue;
+                        }
+                        if let Some(b) = before {
+                            if &key >= b {
+                                continue;
+                            }
+                        }
+                        if best.as_ref().is_none_or(|(bk, _, _)| key > *bk) {
+                            best = Some((key, rid, row));
+                        }
+                    }
+                    Ok::<_, StorageError>(best)
+                })??
+            }
+            _ => committed,
+        };
         // Own-write candidate with the greatest qualifying key.
         let own: Option<(IndexKey, RowId, SharedRow)> = match self.writes.get(&table) {
             None => None,

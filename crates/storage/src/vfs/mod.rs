@@ -88,6 +88,29 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
     /// Fsync the directory containing `path`, making renames,
     /// creations, and truncations of entries within it durable.
     fn sync_dir(&self, path: &Path) -> Result<()>;
+
+    /// Read `len` bytes starting at `offset`. The default materializes
+    /// the whole file; backends with random access override it. Reading
+    /// past the end is an error (cold-run footers address exact spans,
+    /// so a short read means corruption, not convention).
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let data = self.read(path)?;
+        let start = offset as usize;
+        let end = start.checked_add(len).filter(|&e| e <= data.len());
+        match end {
+            Some(end) => Ok(data[start..end].to_vec()),
+            None => Err(crate::error::StorageError::Io(format!(
+                "read_range past end of {}: offset {offset} len {len} size {}",
+                path.display(),
+                data.len()
+            ))),
+        }
+    }
+
+    /// Current size of the file in bytes.
+    fn file_len(&self, path: &Path) -> Result<u64> {
+        Ok(self.read(path)?.len() as u64)
+    }
 }
 
 /// The default backend: `std::fs`, exactly as the engine used it before
@@ -192,6 +215,19 @@ impl Vfs for OsVfs {
         };
         File::open(parent)?.sync_all()?;
         Ok(())
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn file_len(&self, path: &Path) -> Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
     }
 }
 

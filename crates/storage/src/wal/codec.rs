@@ -185,7 +185,7 @@ fn get_write(buf: &mut &[u8]) -> Result<WalWrite> {
     })
 }
 
-fn put_op(b: &mut BytesMut, op: &WalOp) {
+pub(crate) fn put_op(b: &mut BytesMut, op: &WalOp) {
     match op {
         WalOp::Put(row) => {
             b.put_u8(OP_PUT);
@@ -215,7 +215,7 @@ fn put_op(b: &mut BytesMut, op: &WalOp) {
     }
 }
 
-fn get_op(buf: &mut &[u8]) -> Result<WalOp> {
+pub(crate) fn get_op(buf: &mut &[u8]) -> Result<WalOp> {
     match get_u8(buf)? {
         OP_PUT => {
             let n = get_u32(buf)? as usize;

@@ -464,6 +464,14 @@ fn drop_table_racing_nongroup_committers_keeps_log_replayable() {
 /// set of commits with `ts <= recovered last_commit_ts` — a commit-
 /// order prefix, never a subset with holes. Swept at every durability
 /// level because each drains the staging buffer differently.
+///
+/// Pinned to `wal_shards: 1` (immune to the `TENDAX_WAL_SHARDS` matrix
+/// leg): the sweep truncates one file, but a sharded layout spreads
+/// these four tables across sibling files, and a base file copied
+/// without its siblings is indistinguishable from a legitimate 1-shard
+/// layout — sibling discovery, not the base file, is the layout source.
+/// Multi-file cut coverage lives in `sim_crash.rs` (per-op power cuts
+/// over every shard) and `reshard.rs` (torn sibling tails).
 #[test]
 fn wal_replays_as_commit_order_prefix_at_every_cut() {
     for durability in [
@@ -479,6 +487,7 @@ fn wal_replays_as_commit_order_prefix_at_every_cut() {
         {
             let opts = Options {
                 durability,
+                wal_shards: 1,
                 ..Options::default()
             };
             let db = Database::open(&path, opts).unwrap();
@@ -520,7 +529,14 @@ fn wal_replays_as_commit_order_prefix_at_every_cut() {
             let (_cut_dir, cut_path) = tmp(&format!("prefix-{durability:?}-cut{n}.wal"));
             std::fs::write(&cut_path, &full[..cut]).unwrap();
 
-            let db = Database::open(&cut_path, Options::default()).unwrap();
+            let db = Database::open(
+                &cut_path,
+                Options {
+                    wal_shards: 1,
+                    ..Options::default()
+                },
+            )
+            .unwrap();
             let horizon = db.last_commit_ts();
             for k in 0..WRITERS {
                 let recovered: BTreeSet<i64> = match db.table_id(&format!("t{k}")) {

@@ -24,10 +24,24 @@ perf", not "the build is broken".
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 UNIT_SUFFIXES = ("_us", "_ms", "_bytes")
+
+
+def step_summary(markdown: str) -> None:
+    """Append a markdown block to the GitHub Actions step summary, when
+    running under Actions ($GITHUB_STEP_SUMMARY set). No-op locally."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a") as f:
+            f.write(markdown + "\n")
+    except OSError:
+        pass  # advisory output only; never fail the comparison over it
 
 
 def seed_baseline(new: Path, baseline: Path) -> None:
@@ -40,6 +54,10 @@ def seed_baseline(new: Path, baseline: Path) -> None:
     with baseline.open("a") as f:
         f.write(line + "\n")
     print(f"bench_compare: no baseline at {baseline}; seeded it from {new}")
+    step_summary(
+        f"### bench_compare: {new.name}\n\n"
+        f"No baseline existed — seeded `{baseline.name}` from this run.\n"
+    )
 
 
 def last_line(path: Path) -> dict:
@@ -79,27 +97,36 @@ def self_test() -> int:
         new = tmp / "fake_bench.json"
         baseline = tmp / "baseline.json"
         new.write_text('{"quick":true,"fake_ops_per_s":1000.0}\n')
+        # Shield the subprocesses from a real CI summary file — the
+        # fake numbers must not leak into the job's summary.
+        env = {k: v for k, v in os.environ.items() if k != "GITHUB_STEP_SUMMARY"}
 
         # 1. Missing baseline: must seed it and pass.
-        r = subprocess.run([sys.executable, script, new, baseline])
+        r = subprocess.run([sys.executable, script, new, baseline], env=env)
         assert r.returncode == 0, "missing baseline must seed, not fail"
         assert baseline.exists(), "baseline was not seeded"
         assert json.loads(baseline.read_text())["fake_ops_per_s"] == 1000.0
 
         # 2. Seeded baseline, result within threshold: pass.
         new.write_text('{"quick":true,"fake_ops_per_s":950.0}\n')
-        r = subprocess.run([sys.executable, script, new, baseline])
+        r = subprocess.run([sys.executable, script, new, baseline], env=env)
         assert r.returncode == 0, "5% dip must pass the 20% threshold"
 
-        # 3. Past the threshold: fail.
+        # 3. Past the threshold: fail, and the step summary (when the
+        # env var points somewhere) must carry the markdown table.
         new.write_text('{"quick":true,"fake_ops_per_s":100.0}\n')
-        r = subprocess.run([sys.executable, script, new, baseline])
+        summary = tmp / "summary.md"
+        env_md = dict(env, GITHUB_STEP_SUMMARY=str(summary))
+        r = subprocess.run([sys.executable, script, new, baseline], env=env_md)
         assert r.returncode == 1, "90% drop must be flagged as a regression"
+        md = summary.read_text()
+        assert "| `fake_ops_per_s` |" in md, f"summary table missing: {md!r}"
+        assert "regressed" in md, "summary verdict missing"
 
         # 4. Empty baseline file behaves like a missing one.
         empty = tmp / "empty.json"
         empty.write_text("\n")
-        r = subprocess.run([sys.executable, script, new, empty])
+        r = subprocess.run([sys.executable, script, new, empty], env=env)
         assert r.returncode == 0, "empty baseline must seed, not crash"
         assert json.loads(empty.read_text())["fake_ops_per_s"] == 100.0
     print("bench_compare: self-test ok")
@@ -150,6 +177,7 @@ def main() -> int:
 
     regressions = []
     width = max(len(k) for k in keys)
+    md_rows = []
     print(f"{'metric':<{width}}  {'baseline':>12}  {'new':>12}  change")
     for k in keys:
         old_v, new_v = float(base[k]), float(new[k])
@@ -161,6 +189,19 @@ def main() -> int:
             regressions.append((k, change))
             marker = "  << REGRESSION"
         print(f"{k:<{width}}  {old_v:>12.1f}  {new_v:>12.1f}  {change:+6.1f}%{marker}")
+        flag = " ⚠️" if marker else ""
+        md_rows.append(f"| `{k}` | {old_v:,.1f} | {new_v:,.1f} | {change:+.1f}%{flag} |")
+
+    verdict = (
+        f"**{len(regressions)} metric(s) regressed more than {args.threshold:.0f}%**"
+        if regressions
+        else f"no regression beyond {args.threshold:.0f}%"
+    )
+    step_summary(
+        f"### bench_compare: {args.new.name}\n\n"
+        "| metric | baseline | new | change |\n"
+        "|---|---:|---:|---:|\n" + "\n".join(md_rows) + f"\n\n{verdict} vs `{baseline_path.name}`\n"
+    )
 
     if regressions:
         print(

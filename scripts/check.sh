@@ -27,6 +27,14 @@ TENDAX_WAL_SHARDS=4 cargo test -q -p tendax-storage \
     --test sim_crash --test commit_pipeline --test merge_commit \
     --test maintenance --test recovery_faults --test reshard
 
+echo "==> cold-tier smoke (demotion + reopen + point lookup)"
+cargo test -q -p tendax-storage --test cold_storage
+
+echo "==> cold-tier matrix leg (default options forced cold-enabled)"
+TENDAX_COLD=1 cargo test -q -p tendax-storage \
+    --test sim_crash --test commit_pipeline --test merge_commit \
+    --test maintenance --test recovery_faults --test read_path
+
 echo "==> commit-pipeline invariants (gap-freedom, FCW, WAL prefix replay)"
 cargo test -q -p tendax-storage --test commit_pipeline
 

@@ -6,9 +6,12 @@
 #   START  first seed (default 0)
 #   COUNT  number of seeds (default 32)
 #
-# Every seed runs twice: once with the default single-file WAL and once
-# with TENDAX_WAL_SHARDS=4, so the sharded layout gets the same crash
-# coverage wherever a test opens a database with default options.
+# Every seed runs across the layout matrix: single-file WAL vs
+# TENDAX_WAL_SHARDS=4, each with the tiered cold storage off and on
+# (TENDAX_COLD=1 flips Options::default() to a cold-enabled engine), so
+# both storage tiers get identical crash coverage wherever a test opens
+# a database with default options. Set TENDAX_COLD_SWEEP="0" or "1" to
+# run a single cold leg (CI uses this to split the matrix across jobs).
 #
 # Reproducing a failure locally is one command — every assertion in the
 # suite embeds its seed, and the suite honors the same variable:
@@ -27,25 +30,31 @@ count="${2:-32}"
 echo "==> building sim_crash test binary"
 cargo test -q -p tendax-storage --test sim_crash --no-run
 
+cold_legs="${TENDAX_COLD_SWEEP:-0 1}"
+
 failed=()
-for shards in 1 4; do
-    for ((seed = start; seed < start + count; seed++)); do
-        if TENDAX_SIM_SEED="$seed" TENDAX_WAL_SHARDS="$shards" \
-            cargo test -q -p tendax-storage --test sim_crash >/tmp/sim_seed_$$.log 2>&1; then
-            echo "seed $seed (wal_shards=$shards): ok"
-        else
-            echo "seed $seed (wal_shards=$shards): FAILED"
-            echo "--- output (rerun: TENDAX_SIM_SEED=$seed TENDAX_WAL_SHARDS=$shards cargo test -p tendax-storage --test sim_crash) ---"
-            cat /tmp/sim_seed_$$.log
-            failed+=("$seed/s$shards")
-        fi
+legs=0
+for cold in $cold_legs; do
+    for shards in 1 4; do
+        for ((seed = start; seed < start + count; seed++)); do
+            legs=$((legs + 1))
+            if TENDAX_SIM_SEED="$seed" TENDAX_WAL_SHARDS="$shards" TENDAX_COLD="$cold" \
+                cargo test -q -p tendax-storage --test sim_crash >/tmp/sim_seed_$$.log 2>&1; then
+                echo "seed $seed (wal_shards=$shards cold=$cold): ok"
+            else
+                echo "seed $seed (wal_shards=$shards cold=$cold): FAILED"
+                echo "--- output (rerun: TENDAX_SIM_SEED=$seed TENDAX_WAL_SHARDS=$shards TENDAX_COLD=$cold cargo test -p tendax-storage --test sim_crash) ---"
+                cat /tmp/sim_seed_$$.log
+                failed+=("$seed/s$shards/c$cold")
+            fi
+        done
     done
 done
 rm -f /tmp/sim_seed_$$.log
 
 if ((${#failed[@]})); then
-    echo "==> ${#failed[@]}/$((2 * count)) seed legs failed: ${failed[*]}"
-    echo "==> rerun one with: TENDAX_SIM_SEED=<n> TENDAX_WAL_SHARDS=<1|4> cargo test -p tendax-storage --test sim_crash"
+    echo "==> ${#failed[@]}/$legs seed legs failed: ${failed[*]}"
+    echo "==> rerun one with: TENDAX_SIM_SEED=<n> TENDAX_WAL_SHARDS=<1|4> TENDAX_COLD=<0|1> cargo test -p tendax-storage --test sim_crash"
     exit 1
 fi
-echo "==> all $count seeds passed in both WAL layouts (seeds $start..$((start + count - 1)))"
+echo "==> all $legs seed legs passed (seeds $start..$((start + count - 1)), WAL layouts 1+4, cold legs: $cold_legs)"
